@@ -1,0 +1,327 @@
+// Benchmarks regenerating the paper's evaluation (Sec 7): one benchmark per
+// table and figure, wrapping internal/experiments with a reduced trace
+// count so `go test -bench=.` completes in minutes, plus the Sec 7.4
+// controller-overhead microbenchmarks. For paper-scale runs use
+// cmd/experiments with -traces 1000.
+package mpcdash_test
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/experiments"
+	"mpcdash/internal/fastmpc"
+	"mpcdash/internal/model"
+	"mpcdash/internal/predictor"
+	"mpcdash/internal/sim"
+	"mpcdash/internal/trace"
+)
+
+// benchConfig keeps benchmark iterations affordable while exercising the
+// full experiment pipeline.
+func benchConfig() experiments.Config {
+	return experiments.Config{TraceCount: 12, Seed: 42, Out: io.Discard}
+}
+
+func BenchmarkFig7_DatasetCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8_NormalizedQoE(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9_FCCDetail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10_HSDPADetail(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig10(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11a_PredictionError(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6 // 8 error levels × 4 algorithms inside
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11b_QoEPreferences(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11c_BufferSize(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11c(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11d_StartupTime(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11d(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12a_Discretization(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12a(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12b_Horizon(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig12b(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1_TableSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(benchConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLevelsSweep_Extension(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 6
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.LevelsSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Sec 7.4 overhead microbenchmarks ---
+
+// benchState is a representative steady-state decision point.
+var benchState = abr.State{
+	Chunk:    30,
+	Buffer:   14.2,
+	Prev:     2,
+	Forecast: []float64{1740, 1740, 1740, 1740, 1740},
+	Lower:    []float64{1450, 1450, 1450, 1450, 1450},
+}
+
+func BenchmarkOverhead_RBDecision(b *testing.B) {
+	ctrl := abr.NewRB(1)(model.EnvivioManifest())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(benchState)
+	}
+}
+
+func BenchmarkOverhead_BBDecision(b *testing.B) {
+	ctrl := abr.NewBB(5, 10)(model.EnvivioManifest())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(benchState)
+	}
+}
+
+func BenchmarkOverhead_FESTIVEDecision(b *testing.B) {
+	ctrl := abr.NewFESTIVE(12, 1, 5)(model.EnvivioManifest())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(benchState)
+	}
+}
+
+func BenchmarkOverhead_ExactMPCDecision(b *testing.B) {
+	ctrl := core.NewMPC(model.Balanced, model.QIdentity, 30, 5)(model.EnvivioManifest())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(benchState)
+	}
+}
+
+func BenchmarkOverhead_FastMPCLookup(b *testing.B) {
+	m := model.EnvivioManifest()
+	ctrl := fastmpc.NewController(model.Balanced, model.QIdentity, 30, 5, nil, false, "")(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(benchState)
+	}
+}
+
+func BenchmarkOverhead_FastMPCTableBuild(b *testing.B) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := fastmpc.DefaultBins(30, m.Ladder.Max())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fastmpc.Build(opt, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatedSession_RobustMPC(b *testing.B) {
+	m := model.EnvivioManifest()
+	tr := trace.GenHSDPA(4, m.Duration()+120)
+	factory := core.NewRobustMPC(model.Balanced, model.QIdentity, 30, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pred := predictor.NewErrorTracked(predictor.NewHarmonicMean(5), 5)
+		if _, err := sim.Run(m, tr, factory(m), pred, sim.DefaultConfig()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDownloadTime(b *testing.B) {
+	tr := trace.GenHSDPA(4, 400)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.DownloadTime(float64(i%350), 4000)
+	}
+}
+
+// --- Ablation benchmarks for the design choices called out in DESIGN.md ---
+
+// BenchmarkAblation_PruningOn/Off quantify the branch-and-bound cut in the
+// horizon enumeration (identical results, different node counts).
+func BenchmarkAblation_PruningOn(b *testing.B) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Plan(10, 14.2, 2, benchState.Forecast, false)
+	}
+}
+
+func BenchmarkAblation_PruningOff(b *testing.B) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt.DisablePruning = true
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Plan(10, 14.2, 2, benchState.Forecast, false)
+	}
+}
+
+// BenchmarkAblation_FlatLookup vs CompressedLookup: the Sec 5.2 trade —
+// binary search over RLE runs versus direct indexing into the full table.
+func BenchmarkAblation_FlatLookup(b *testing.B) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := fastmpc.Build(opt, fastmpc.DefaultBins(30, m.Ladder.Max()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table.Lookup(14.2, 2, 1740)
+	}
+}
+
+func BenchmarkAblation_CompressedLookup(b *testing.B) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	table, err := fastmpc.Build(opt, fastmpc.DefaultBins(30, m.Ladder.Max()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	compressed := fastmpc.Compress(table)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		compressed.Lookup(14.2, 2, 1740)
+	}
+}
+
+// BenchmarkAblation_RobustWindow sweeps the error-tracking window that
+// feeds RobustMPC's lower bound (paper default 5).
+func BenchmarkAblation_RobustWindow(b *testing.B) {
+	m := model.EnvivioManifest()
+	tr := trace.GenHSDPA(9, m.Duration()+120)
+	for _, window := range []int{2, 5, 10} {
+		b.Run(fmt.Sprintf("window%d", window), func(b *testing.B) {
+			factory := core.NewRobustMPC(model.Balanced, model.QIdentity, 30, 5)
+			for i := 0; i < b.N; i++ {
+				pred := predictor.NewErrorTracked(predictor.NewHarmonicMean(5), window)
+				if _, err := sim.Run(m, tr, factory(m), pred, sim.DefaultConfig()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPredictorSweep_Extension(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.PredictorSweep(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMDPComparison_Extension(b *testing.B) {
+	cfg := benchConfig()
+	cfg.TraceCount = 5
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MDPComparison(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

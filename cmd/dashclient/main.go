@@ -1,0 +1,114 @@
+// Command dashclient plays a video from a dashserver (or any server
+// exposing the same manifest + segment layout) through a chosen adaptation
+// algorithm, over real HTTP, and prints the session summary. Together with
+// dashserver it forms the two-machine emulation setup of Sec 7.2.
+//
+// Usage:
+//
+//	dashclient [-url http://127.0.0.1:8080] [-alg RobustMPC] [-scale 1]
+//	           [-csv session.csv]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/emu"
+	"mpcdash/internal/export"
+	"mpcdash/internal/fastmpc"
+	"mpcdash/internal/model"
+	"mpcdash/internal/predictor"
+)
+
+func main() {
+	var (
+		baseURL = flag.String("url", "http://127.0.0.1:8080", "dashserver base URL")
+		algName = flag.String("alg", "RobustMPC", "RB, BB, FESTIVE, dash.js, MPC, RobustMPC, FastMPC")
+		scale   = flag.Float64("scale", 1, "time-compression factor; must match the server's")
+		bmax    = flag.Float64("buffer", 30, "playout buffer cap in media seconds")
+		horizon = flag.Int("horizon", 5, "MPC look-ahead chunks")
+		timeout = flag.Duration("timeout", 30*time.Minute, "session wall-clock timeout")
+		csvOut  = flag.String("csv", "", "write the per-chunk log as CSV to this file")
+	)
+	flag.Parse()
+
+	factory, pred, err := pick(*algName, *bmax, *horizon)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	client := &emu.Client{
+		BaseURL:   *baseURL,
+		Predictor: pred,
+		BufferMax: *bmax,
+		Horizon:   *horizon,
+		TimeScale: *scale,
+	}
+	// The controller needs the manifest, which the client fetches; use the
+	// deferred-binding helper.
+	res, err := client.RunWithController(ctx, factory)
+	if err != nil {
+		fatal(err)
+	}
+
+	metrics := res.ComputeMetrics(model.QIdentity)
+	fmt.Printf("algorithm     %s\n", res.Algorithm)
+	fmt.Printf("QoE           %.0f\n", res.QoE(model.Balanced, model.QIdentity))
+	fmt.Printf("avg bitrate   %.0f kbps\n", metrics.AvgBitrate)
+	fmt.Printf("switches      %d\n", metrics.Switches)
+	fmt.Printf("rebuffer      %.2f media-s in %d events\n", metrics.RebufferTime, metrics.RebufferEvents)
+	fmt.Printf("startup       %.2f media-s\n", res.StartupDelay)
+
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := export.WriteCSV(f, res); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("per-chunk CSV written to %s\n", *csvOut)
+	}
+}
+
+// pick maps an algorithm name to its factory and predictor.
+func pick(name string, bmax float64, horizon int) (abr.Factory, predictor.Predictor, error) {
+	switch strings.ToLower(name) {
+	case "rb":
+		return abr.NewRB(1), predictor.NewHarmonicMean(5), nil
+	case "bb":
+		return abr.NewBB(5, 10), predictor.NewHarmonicMean(5), nil
+	case "festive":
+		return abr.NewFESTIVE(12, 1, 5), predictor.NewHarmonicMean(5), nil
+	case "dash.js", "dashjs":
+		return abr.NewDashJS(0, 0), &predictor.LastSample{}, nil
+	case "mpc":
+		return core.NewMPC(model.Balanced, model.QIdentity, bmax, horizon), predictor.NewHarmonicMean(5), nil
+	case "robustmpc":
+		return core.NewRobustMPC(model.Balanced, model.QIdentity, bmax, horizon),
+			predictor.NewErrorTracked(predictor.NewHarmonicMean(5), 5), nil
+	case "fastmpc":
+		return fastmpc.NewController(model.Balanced, model.QIdentity, bmax, horizon, nil, false, "FastMPC"),
+			predictor.NewHarmonicMean(5), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dashclient: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command dashserver runs the shaped HTTP chunk origin: it serves the DASH
+// manifest and media segments of a synthetic test video over a link whose
+// throughput follows a trace, standing in for the paper's node.js server
+// plus `tc` throttling. Point any HTTP client (or the examples/emulation
+// player) at it.
+//
+// Usage:
+//
+//	dashserver [-addr 127.0.0.1:8080] [-dataset hsdpa] [-seed 1]
+//	           [-chunks 65] [-scale 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+
+	"mpcdash/internal/emu"
+	"mpcdash/internal/model"
+	"mpcdash/internal/trace"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dataset = flag.String("dataset", "fcc", "link trace model: fcc, hsdpa, synthetic")
+		seed    = flag.Int64("seed", 1, "trace seed")
+		chunks  = flag.Int("chunks", 65, "video length in 4-second chunks")
+		scale   = flag.Float64("scale", 1, "time-compression factor (media s per wall s)")
+	)
+	flag.Parse()
+
+	m, err := model.NewCBRManifest(model.EnvivioLadder(), *chunks, 4)
+	if err != nil {
+		fatal(err)
+	}
+
+	var kind trace.DatasetKind
+	switch strings.ToLower(*dataset) {
+	case "fcc":
+		kind = trace.FCC
+	case "hsdpa":
+		kind = trace.HSDPA
+	case "synthetic":
+		kind = trace.Synthetic
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+	tr := trace.Dataset(kind, 1, m.Duration()+120, *seed)[0]
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	srv := emu.NewServer(m)
+	shaped := emu.NewListener(ln, emu.NewShaper(tr.Scale(*scale, *scale)))
+
+	fmt.Printf("dashserver: serving %d-chunk video at http://%s/manifest.mpd\n", *chunks, ln.Addr())
+	fmt.Printf("dashserver: link shaped by %s (mean %.0f kbps), time scale %gx\n", tr.Name, tr.Mean(), *scale)
+	if err := srv.ServeOn(shaped); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dashserver: %v\n", err)
+	os.Exit(1)
+}

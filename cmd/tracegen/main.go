@@ -1,0 +1,105 @@
+// Command tracegen synthesizes throughput-trace datasets in the text format
+// (one "duration kbps" sample per line) and prints their statistics, or
+// inspects an existing trace file.
+//
+// Usage:
+//
+//	tracegen -dataset hsdpa -count 10 -duration 380 -out traces/   # generate
+//	tracegen -inspect traces/hsdpa-3.txt                           # inspect
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mpcdash/internal/stats"
+	"mpcdash/internal/trace"
+)
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "fcc", "fcc, hsdpa or synthetic")
+		count    = flag.Int("count", 10, "number of traces")
+		duration = flag.Float64("duration", 380, "trace duration in seconds")
+		seed     = flag.Int64("seed", 42, "base seed")
+		out      = flag.String("out", "", "output directory (default: print stats only)")
+		inspect  = flag.String("inspect", "", "inspect an existing trace file instead of generating")
+	)
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectFile(*inspect); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var kind trace.DatasetKind
+	switch strings.ToLower(*dataset) {
+	case "fcc":
+		kind = trace.FCC
+	case "hsdpa":
+		kind = trace.HSDPA
+	case "synthetic":
+		kind = trace.Synthetic
+	default:
+		fatal(fmt.Errorf("unknown dataset %q", *dataset))
+	}
+
+	traces := trace.Dataset(kind, *count, *duration, *seed)
+	var means, stds []float64
+	for _, tr := range traces {
+		means = append(means, tr.Mean())
+		stds = append(stds, tr.Stddev())
+		if *out != "" {
+			if err := writeTrace(*out, tr); err != nil {
+				fatal(err)
+			}
+		}
+	}
+	fmt.Printf("%s dataset: %d traces × %.0fs\n", kind, len(traces), *duration)
+	fmt.Printf("  mean throughput: %s\n", stats.Summarize(means))
+	fmt.Printf("  stddev:          %s\n", stats.Summarize(stds))
+	if *out != "" {
+		fmt.Printf("  written to %s/\n", *out)
+	}
+}
+
+func writeTrace(dir string, tr *trace.Trace) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, tr.Name+".txt"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return trace.Write(f, tr)
+}
+
+func inspectFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := trace.Read(f, filepath.Base(path))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("trace %s\n", tr.Name)
+	fmt.Printf("  samples:   %d\n", len(tr.Samples))
+	fmt.Printf("  duration:  %.1f s\n", tr.Duration())
+	fmt.Printf("  mean:      %.0f kbps\n", tr.Mean())
+	fmt.Printf("  stddev:    %.0f kbps\n", tr.Stddev())
+	fmt.Printf("  min/max:   %.0f / %.0f kbps\n", tr.MinRate(), tr.MaxRate())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+	os.Exit(1)
+}

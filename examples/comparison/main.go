@@ -1,0 +1,56 @@
+// Comparison: the Fig 8 experiment in miniature — run all six algorithms
+// of the paper's evaluation over a mobile (HSDPA-like) dataset and print
+// median normalized QoE with the per-factor breakdown.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"mpcdash"
+)
+
+func main() {
+	video := mpcdash.EnvivioVideo()
+	const n = 20
+	traces := mpcdash.GenerateDataset(mpcdash.DatasetHSDPA, n, video.Duration()+120, 21)
+	fmt.Printf("comparing 6 algorithms over %d HSDPA-like traces...\n\n", n)
+
+	algs := []mpcdash.Algorithm{
+		mpcdash.RB, mpcdash.BB, mpcdash.FESTIVE,
+		mpcdash.DashJS, mpcdash.FastMPC, mpcdash.RobustMPC,
+	}
+	results, err := mpcdash.Compare(video, traces, algs, mpcdash.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type row struct {
+		name                       string
+		nqoe, bitrate, change, reb float64
+	}
+	var rows []row
+	for name, list := range results {
+		var r row
+		r.name = name
+		nq := make([]float64, len(list))
+		for i, res := range list {
+			nq[i] = res.NormQoE
+			r.bitrate += res.Metrics.AvgBitrate / float64(len(list))
+			r.change += res.Metrics.AvgBitrateChange / float64(len(list))
+			r.reb += res.Metrics.RebufferTime / float64(len(list))
+		}
+		sort.Float64s(nq)
+		r.nqoe = nq[len(nq)/2]
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].nqoe > rows[j].nqoe })
+
+	fmt.Printf("%-10s %8s %12s %14s %12s\n", "algorithm", "n-QoE", "avg kbps", "change/chunk", "rebuffer(s)")
+	for _, r := range rows {
+		fmt.Printf("%-10s %8.3f %12.0f %14.0f %12.2f\n", r.name, r.nqoe, r.bitrate, r.change, r.reb)
+	}
+}

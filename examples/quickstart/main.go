@@ -1,0 +1,39 @@
+// Quickstart: stream the paper's 260-second test video over one synthetic
+// broadband trace with RobustMPC and print the QoE breakdown.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mpcdash"
+)
+
+func main() {
+	video := mpcdash.EnvivioVideo()
+
+	// One broadband-like trace, long enough to cover a slow session.
+	traces := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 1, video.Duration()+120, 7)
+	tr := traces[0]
+	fmt.Printf("trace %s: mean %.0f kbps, stddev %.0f kbps\n", tr.Name(), tr.Mean(), tr.Stddev())
+
+	res, err := mpcdash.Run(video, tr, mpcdash.RobustMPC, mpcdash.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\n%s session:\n", res.Algorithm)
+	fmt.Printf("  QoE            %.0f (%.1f%% of offline optimal)\n", res.QoE, res.NormQoE*100)
+	fmt.Printf("  avg bitrate    %.0f kbps\n", res.Metrics.AvgBitrate)
+	fmt.Printf("  switches       %d (avg change %.0f kbps/chunk)\n", res.Metrics.Switches, res.Metrics.AvgBitrateChange)
+	fmt.Printf("  rebuffering    %.2f s in %d events\n", res.Metrics.RebufferTime, res.Metrics.RebufferEvents)
+	fmt.Printf("  startup delay  %.2f s\n", res.Metrics.StartupDelay)
+
+	fmt.Println("\nfirst chunks:")
+	for _, c := range res.Chunks[:8] {
+		fmt.Printf("  chunk %2d: %4.0f kbps, downloaded in %.2f s at %4.0f kbps, buffer %.1f s\n",
+			c.Index, c.Bitrate, c.DownloadTime, c.Throughput, c.Buffer)
+	}
+}

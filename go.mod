@@ -1,0 +1,3 @@
+module mpcdash
+
+go 1.22

@@ -1,0 +1,92 @@
+// Package abr defines the bitrate-adaptation Controller interface — the
+// function f(·) of Eq. (12) — and implements the baseline algorithms the
+// paper compares against (Sec 7.1.2): the rate-based rule (RB), the
+// buffer-based rule of Huang et al. (BB), FESTIVE, the dash.js heuristic
+// rules, and a fixed-bitrate control. The MPC family lives in
+// mpcdash/internal/core.
+package abr
+
+import (
+	"fmt"
+
+	"mpcdash/internal/model"
+)
+
+// State is everything a controller may observe when choosing the bitrate of
+// the next chunk: buffer occupancy (known exactly), the previous decision,
+// and the throughput forecast (Eq. 12). Rate-based controllers ignore
+// Buffer; buffer-based controllers ignore Forecast.
+type State struct {
+	Chunk    int       // index of the chunk being chosen, 0-based
+	Buffer   float64   // B_k, seconds of video in the buffer
+	Prev     int       // previous level index, -1 before the first chunk
+	Time     float64   // t_k, session time in seconds
+	Forecast []float64 // predicted kbps per future chunk; empty or ≤0 means unknown
+	Lower    []float64 // robust lower bounds aligned with Forecast; may be nil
+	Startup  bool      // true while the controller may also pick the startup delay
+}
+
+// PredictedRate returns the scalar first-step forecast, or 0 when unknown.
+func (s State) PredictedRate() float64 {
+	if len(s.Forecast) == 0 {
+		return 0
+	}
+	return s.Forecast[0]
+}
+
+// Decision is a controller's output: the ladder level for the next chunk
+// and, during startup, the chosen startup delay Ts in seconds.
+type Decision struct {
+	Level   int
+	Startup float64
+}
+
+// Controller selects bitrates for one playback session. Implementations
+// may keep per-session state and are not safe for concurrent use; create
+// one controller per session via a Factory.
+type Controller interface {
+	// Name identifies the algorithm in logs and experiment output.
+	Name() string
+	// Decide picks the level for chunk s.Chunk.
+	Decide(s State) Decision
+}
+
+// Factory builds a fresh controller for each session.
+type Factory func(m *model.Manifest) Controller
+
+// Fixed always picks the same ladder level; the trivial strawman of Sec 2.
+type Fixed struct {
+	Manifest *model.Manifest
+	Level    int
+}
+
+// NewFixed returns a Factory for a fixed-level controller.
+func NewFixed(level int) Factory {
+	return func(m *model.Manifest) Controller {
+		return &Fixed{Manifest: m, Level: level}
+	}
+}
+
+// Name implements Controller.
+func (f *Fixed) Name() string { return fmt.Sprintf("Fixed(%d)", f.Level) }
+
+// Decide implements Controller.
+func (f *Fixed) Decide(s State) Decision {
+	lvl := f.Manifest.Ladder.Clamp(f.Level)
+	return Decision{Level: lvl, Startup: defaultStartup(f.Manifest, lvl, s)}
+}
+
+// defaultStartup is the startup delay non-MPC controllers report: the
+// expected download time of the first chunk at the chosen level, i.e. the
+// "play as soon as the first chunk arrives" policy every production player
+// uses. With no throughput estimate it falls back to one chunk duration.
+func defaultStartup(m *model.Manifest, level int, s State) float64 {
+	if !s.Startup {
+		return 0
+	}
+	rate := s.PredictedRate()
+	if rate <= 0 {
+		return m.ChunkDuration
+	}
+	return m.ChunkSize(s.Chunk, level) / rate
+}

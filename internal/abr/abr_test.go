@@ -1,0 +1,246 @@
+package abr
+
+import (
+	"testing"
+
+	"mpcdash/internal/model"
+)
+
+func envivio(t *testing.T) *model.Manifest {
+	t.Helper()
+	return model.EnvivioManifest()
+}
+
+func steadyState(buffer float64, prev int, rate float64) State {
+	return State{Chunk: 10, Buffer: buffer, Prev: prev, Forecast: []float64{rate, rate, rate, rate, rate}}
+}
+
+func TestRB(t *testing.T) {
+	m := envivio(t)
+	rb := NewRB(1)(m)
+	if rb.Name() != "RB" {
+		t.Errorf("Name = %q", rb.Name())
+	}
+	cases := []struct {
+		rate float64
+		want int
+	}{
+		{0, 0},    // unknown → lowest
+		{100, 0},  // below min → lowest
+		{350, 0},  // exactly min
+		{999, 1},  // below 1000
+		{2500, 3}, // between 2000 and 3000
+		{9999, 4}, // above max
+	}
+	for _, c := range cases {
+		if got := rb.Decide(steadyState(15, 2, c.rate)).Level; got != c.want {
+			t.Errorf("RB(rate=%v) = %d, want %d", c.rate, got, c.want)
+		}
+	}
+	// RB ignores the buffer entirely.
+	a := rb.Decide(steadyState(1, 2, 2500)).Level
+	b := rb.Decide(steadyState(29, 2, 2500)).Level
+	if a != b {
+		t.Errorf("RB should ignore buffer: %d vs %d", a, b)
+	}
+}
+
+func TestRBSafetyFactor(t *testing.T) {
+	m := envivio(t)
+	rb := NewRB(0.5)(m)
+	// 0.5 × 2500 = 1250 → level 2 (1000).
+	if got := rb.Decide(steadyState(15, 2, 2500)).Level; got != 2 {
+		t.Errorf("RB p=0.5 = %d, want 2", got)
+	}
+}
+
+func TestBBRateMap(t *testing.T) {
+	m := envivio(t)
+	bb := NewBB(5, 10)(m).(*BB)
+	if got := bb.RateMap(0); got != 350 {
+		t.Errorf("RateMap(0) = %v, want 350", got)
+	}
+	if got := bb.RateMap(5); got != 350 {
+		t.Errorf("RateMap(reservoir) = %v, want 350", got)
+	}
+	if got := bb.RateMap(15); got != 3000 {
+		t.Errorf("RateMap(reservoir+cushion) = %v, want 3000", got)
+	}
+	if got := bb.RateMap(30); got != 3000 {
+		t.Errorf("RateMap(full) = %v, want 3000", got)
+	}
+	mid := bb.RateMap(10) // halfway: 350 + 0.5·2650 = 1675
+	if mid <= 350 || mid >= 3000 {
+		t.Errorf("RateMap(mid) = %v, want interior", mid)
+	}
+}
+
+func TestBBDecide(t *testing.T) {
+	m := envivio(t)
+	bb := NewBB(5, 10)(m)
+	if bb.Name() != "BB" {
+		t.Errorf("Name = %q", bb.Name())
+	}
+	// Low buffer → lowest level regardless of (ignored) throughput.
+	if got := bb.Decide(steadyState(2, 4, 99999)).Level; got != 0 {
+		t.Errorf("BB(low buffer) = %d, want 0", got)
+	}
+	// Full buffer → top level even with zero forecast.
+	if got := bb.Decide(steadyState(30, 0, 0)).Level; got != 4 {
+		t.Errorf("BB(full buffer) = %d, want 4", got)
+	}
+	// Monotone in buffer.
+	prev := -1
+	for b := 0.0; b <= 30; b += 1 {
+		lvl := bb.Decide(steadyState(b, 2, 0)).Level
+		if lvl < prev {
+			t.Fatalf("BB not monotone in buffer at %v: %d < %d", b, lvl, prev)
+		}
+		prev = lvl
+	}
+}
+
+func TestFixed(t *testing.T) {
+	m := envivio(t)
+	f := NewFixed(3)(m)
+	for b := 0.0; b < 30; b += 7 {
+		if got := f.Decide(steadyState(b, 0, 100)).Level; got != 3 {
+			t.Errorf("Fixed = %d, want 3", got)
+		}
+	}
+	over := NewFixed(99)(m)
+	if got := over.Decide(steadyState(5, 0, 100)).Level; got != 4 {
+		t.Errorf("Fixed out-of-range should clamp, got %d", got)
+	}
+}
+
+func TestFESTIVEGradualSwitching(t *testing.T) {
+	m := envivio(t)
+	f := NewFESTIVE(12, 1, 5)(m)
+	if f.Name() != "FESTIVE" {
+		t.Errorf("Name = %q", f.Name())
+	}
+	// First chunk goes straight to the rate-based target.
+	first := f.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{2500}})
+	if first.Level != 3 {
+		t.Fatalf("first chunk = %d, want 3", first.Level)
+	}
+	// From level 0 with plenty of bandwidth, FESTIVE must not jump straight
+	// to the top: at most one rung per decision.
+	g := NewFESTIVE(12, 1, 5)(m)
+	g.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{350}})
+	lvl := 0
+	for k := 1; k < 30; k++ {
+		d := g.Decide(State{Chunk: k, Buffer: 20, Prev: lvl, Forecast: []float64{3000}})
+		if d.Level > lvl+1 {
+			t.Fatalf("chunk %d: jumped from %d to %d", k, lvl, d.Level)
+		}
+		lvl = d.Level
+	}
+	if lvl == 0 {
+		t.Error("FESTIVE never switched up with abundant bandwidth")
+	}
+}
+
+func TestFESTIVEDelayedUpswitch(t *testing.T) {
+	m := envivio(t)
+	f := NewFESTIVE(12, 1, 5)(m)
+	f.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{1000}}) // start at level 2
+	// Bandwidth jumps; the first post-jump decision at level 2 must wait
+	// (patience = level+1 = 3 consecutive wants).
+	up := 0
+	lvl := 2
+	for k := 1; k <= 3; k++ {
+		d := f.Decide(State{Chunk: k, Buffer: 20, Prev: lvl, Forecast: []float64{3000}})
+		if d.Level > lvl {
+			up = k
+			lvl = d.Level
+			break
+		}
+	}
+	if up != 0 && up < 3 {
+		t.Errorf("up-switch after %d decisions, want ≥3 (delayed update)", up)
+	}
+}
+
+func TestFESTIVEDownswitchImmediate(t *testing.T) {
+	m := envivio(t)
+	f := NewFESTIVE(12, 1, 5)(m)
+	f.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{3000}})
+	d := f.Decide(State{Chunk: 1, Buffer: 10, Prev: 4, Forecast: []float64{400}})
+	if d.Level >= 4 {
+		t.Errorf("FESTIVE should step down on bandwidth collapse, got %d", d.Level)
+	}
+}
+
+func TestDashJSRules(t *testing.T) {
+	m := envivio(t)
+	d := NewDashJS(0, 0)(m)
+	if d.Name() != "dash.js" {
+		t.Errorf("Name = %q", d.Name())
+	}
+	// First chunk: no history → lowest.
+	if got := d.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{0}}).Level; got != 0 {
+		t.Errorf("first chunk = %d, want 0", got)
+	}
+	// InsufficientBufferRule trips below one chunk duration.
+	d2 := NewDashJS(0, 0)(m)
+	if got := d2.Decide(State{Chunk: 5, Buffer: 2, Prev: 4, Forecast: []float64{9000}}).Level; got != 0 {
+		t.Errorf("low buffer = %d, want 0", got)
+	}
+	// ...and stays tripped until the buffer recovers past 2 chunks.
+	if got := d2.Decide(State{Chunk: 6, Buffer: 6, Prev: 0, Forecast: []float64{9000}}).Level; got != 0 {
+		t.Errorf("hysteresis should hold at 6s, got %d", got)
+	}
+	if got := d2.Decide(State{Chunk: 7, Buffer: 9, Prev: 0, Forecast: []float64{9000}}).Level; got == 0 {
+		t.Error("recovered buffer should clear the trip")
+	}
+}
+
+func TestDashJSDownloadRatio(t *testing.T) {
+	m := envivio(t)
+	// Mild dip at level 3 (2000): rate 1800 → ratio 0.9 ≥ 1000/2000 → one rung down.
+	d := NewDashJS(0, 0)(m)
+	if got := d.Decide(State{Chunk: 5, Buffer: 20, Prev: 3, Forecast: []float64{1800}}).Level; got != 2 {
+		t.Errorf("mild dip = %d, want 2", got)
+	}
+	// Severe dip: rate 600 at level 3 → ratio 0.3 < 0.5 → bail to 0.
+	if got := d.Decide(State{Chunk: 6, Buffer: 20, Prev: 3, Forecast: []float64{600}}).Level; got != 0 {
+		t.Errorf("severe dip = %d, want 0", got)
+	}
+	// Fast download can jump several rungs: at level 0 (350) with rate
+	// 3000, ratio 8.57 affords level 3 (2000/350 = 5.7) but not 4 exactly
+	// (3000/350 = 8.57, need ratio > 8.57).
+	if got := d.Decide(State{Chunk: 7, Buffer: 20, Prev: 0, Forecast: []float64{3000}}).Level; got != 3 {
+		t.Errorf("fast chunk jump = %d, want 3", got)
+	}
+}
+
+func TestDefaultStartup(t *testing.T) {
+	m := envivio(t)
+	rb := NewRB(1)(m)
+	d := rb.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{700}, Startup: true})
+	// Level 1 (600 kbps), chunk size 2400 kbits, rate 700 → ≈3.43 s.
+	want := m.ChunkSize(0, d.Level) / 700
+	if diff := d.Startup - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("Startup = %v, want %v", d.Startup, want)
+	}
+	// Unknown rate falls back to one chunk duration.
+	d = rb.Decide(State{Chunk: 0, Prev: -1, Forecast: []float64{0}, Startup: true})
+	if d.Startup != m.ChunkDuration {
+		t.Errorf("Startup fallback = %v, want %v", d.Startup, m.ChunkDuration)
+	}
+	// Steady state reports zero.
+	if got := rb.Decide(steadyState(10, 1, 700)).Startup; got != 0 {
+		t.Errorf("steady-state Startup = %v, want 0", got)
+	}
+}
+
+func TestPredictedRate(t *testing.T) {
+	if got := (State{}).PredictedRate(); got != 0 {
+		t.Errorf("empty forecast rate = %v, want 0", got)
+	}
+	if got := (State{Forecast: []float64{123, 456}}).PredictedRate(); got != 123 {
+		t.Errorf("rate = %v, want 123", got)
+	}
+}

@@ -1,0 +1,51 @@
+package abr
+
+import "mpcdash/internal/model"
+
+// BB is the buffer-based algorithm of Huang et al. as configured in
+// Sec 7.1.2: the bitrate map f(B) rises linearly from R_min to R_max as the
+// buffer moves across a cushion above a safety reservoir, and the chosen
+// level is the highest one whose bitrate does not exceed f(B_k). Throughput
+// information is deliberately ignored.
+type BB struct {
+	Manifest  *model.Manifest
+	Reservoir float64 // r, seconds of buffer kept as a rebuffer guard (paper: 5)
+	Cushion   float64 // c, seconds over which the map spans the ladder (paper: 10)
+}
+
+// NewBB returns a Factory for the buffer-based controller; non-positive
+// parameters select the paper's reservoir of 5 s and cushion of 10 s.
+func NewBB(reservoir, cushion float64) Factory {
+	if reservoir <= 0 {
+		reservoir = 5
+	}
+	if cushion <= 0 {
+		cushion = 10
+	}
+	return func(m *model.Manifest) Controller {
+		return &BB{Manifest: m, Reservoir: reservoir, Cushion: cushion}
+	}
+}
+
+// Name implements Controller.
+func (b *BB) Name() string { return "BB" }
+
+// RateMap evaluates f(B) in kbps.
+func (b *BB) RateMap(buffer float64) float64 {
+	ladder := b.Manifest.Ladder
+	switch {
+	case buffer <= b.Reservoir:
+		return ladder.Min()
+	case buffer >= b.Reservoir+b.Cushion:
+		return ladder.Max()
+	default:
+		frac := (buffer - b.Reservoir) / b.Cushion
+		return ladder.Min() + frac*(ladder.Max()-ladder.Min())
+	}
+}
+
+// Decide implements Controller.
+func (b *BB) Decide(s State) Decision {
+	level := b.Manifest.Ladder.HighestBelow(b.RateMap(s.Buffer))
+	return Decision{Level: level, Startup: defaultStartup(b.Manifest, level, s)}
+}

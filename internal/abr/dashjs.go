@@ -1,0 +1,97 @@
+package abr
+
+import "mpcdash/internal/model"
+
+// DashJS ports the rule-based decision logic of the dash.js v1.2 reference
+// player described in Sec 6, restricted (as in the paper's evaluation) to
+// chunk-boundary decisions and sequential downloads:
+//
+//   - DownloadRatioRule: compare the play time of the last chunk to its
+//     download time. A ratio below 1 means the download could not keep up,
+//     so drop to the highest level sustainable at the implied throughput;
+//     a ratio comfortably above the next level's relative cost switches up
+//     one rung. Reacting to a single chunk sample is what makes the
+//     original player oscillate.
+//   - InsufficientBufferRule: if the buffer recently touched a low-water
+//     mark, force the lowest level until it recovers.
+//
+// InsufficientBufferRule has priority, mirroring the rule priorities in the
+// original code.
+type DashJS struct {
+	Manifest *model.Manifest
+	LowWater float64 // buffer level that trips InsufficientBufferRule (s)
+	Recover  float64 // buffer level at which the trip clears (s)
+
+	tripped bool
+}
+
+// NewDashJS returns a Factory for the dash.js heuristic; non-positive
+// water marks select 4 s / 8 s, one and two chunk durations of the
+// reference configuration.
+func NewDashJS(lowWater, recover float64) Factory {
+	return func(m *model.Manifest) Controller {
+		lw, rc := lowWater, recover
+		if lw <= 0 {
+			lw = m.ChunkDuration
+		}
+		if rc <= 0 {
+			rc = 2 * m.ChunkDuration
+		}
+		return &DashJS{Manifest: m, LowWater: lw, Recover: rc}
+	}
+}
+
+// Name implements Controller.
+func (d *DashJS) Name() string { return "dash.js" }
+
+// Decide implements Controller. State.Forecast carries the last chunk's
+// measured throughput (the simulator feeds measurements through the
+// predictor layer); the download ratio of the last chunk at level i is
+// throughput/R_i.
+func (d *DashJS) Decide(s State) Decision {
+	// InsufficientBufferRule with hysteresis.
+	if s.Buffer < d.LowWater {
+		d.tripped = true
+	} else if s.Buffer >= d.Recover {
+		d.tripped = false
+	}
+	if d.tripped {
+		return Decision{Level: 0, Startup: defaultStartup(d.Manifest, 0, s)}
+	}
+
+	cur := s.Prev
+	rate := s.PredictedRate()
+	if cur < 0 || rate <= 0 {
+		return Decision{Level: 0, Startup: defaultStartup(d.Manifest, 0, s)}
+	}
+
+	ladder := d.Manifest.Ladder
+	ratio := rate / ladder[cur] // play-time / download-time of the last chunk
+	level := cur
+	if ratio < 1 {
+		// Could not sustain the current level. The original rule drops a
+		// single rung when the dip is mild, but bails out to the lowest
+		// quality whenever the ratio is below even the next level down's
+		// relative cost — a single slow chunk sends the player to the
+		// bottom of the ladder.
+		switch {
+		case cur == 0:
+			level = 0
+		case ratio < ladder[cur-1]/ladder[cur]:
+			level = 0
+		default:
+			level = cur - 1
+		}
+	} else {
+		// Switch up to the highest level whose relative cost the last
+		// chunk's download ratio appears to afford. Jumping several rungs
+		// on a single-chunk sample is what makes the original player
+		// oscillate (Sec 7.2: "incurs many unnecessary switches").
+		for j := cur + 1; j < len(ladder); j++ {
+			if ratio > ladder[j]/ladder[cur] {
+				level = j
+			}
+		}
+	}
+	return Decision{Level: level, Startup: defaultStartup(d.Manifest, level, s)}
+}

@@ -1,0 +1,125 @@
+package abr
+
+import (
+	"math"
+
+	"mpcdash/internal/model"
+)
+
+// FESTIVE implements the single-player variant of Jiang et al.'s algorithm
+// as evaluated in Sec 7.1.2 (no randomized scheduling, no wait between
+// chunks): a gradual-switching candidate set, a delayed up-switch whose
+// patience grows with the current level, and a combined score
+//
+//	score(b) = stability(b) + α·efficiency(b), α = 12
+//
+// minimized over the candidates, where efficiency(b) = |b/(p·Ĉ) − 1| and
+// stability(b) = 2^(switches among the last 5 chunks, counting the
+// hypothetical switch to b).
+type FESTIVE struct {
+	Manifest *model.Manifest
+	Alpha    float64 // α weighting efficiency against stability (paper: 12)
+	P        float64 // throughput safety factor (paper: 1)
+	Window   int     // switch-history window (paper: 5)
+
+	levels  []int // chosen level history (last Window)
+	upCount int   // consecutive decisions wanting a higher level
+}
+
+// NewFESTIVE returns a Factory for the FESTIVE controller; non-positive
+// parameters select the paper's α=12, p=1, window=5.
+func NewFESTIVE(alpha, p float64, window int) Factory {
+	if alpha <= 0 {
+		alpha = 12
+	}
+	if p <= 0 {
+		p = 1
+	}
+	if window <= 0 {
+		window = 5
+	}
+	return func(m *model.Manifest) Controller {
+		return &FESTIVE{Manifest: m, Alpha: alpha, P: p, Window: window}
+	}
+}
+
+// Name implements Controller.
+func (f *FESTIVE) Name() string { return "FESTIVE" }
+
+// Decide implements Controller.
+func (f *FESTIVE) Decide(s State) Decision {
+	rate := s.PredictedRate()
+	target := 0
+	if rate > 0 {
+		target = f.Manifest.Ladder.HighestBelow(f.P * rate)
+	}
+	cur := s.Prev
+	if cur < 0 {
+		// First chunk: start at the rate-based target like the reference
+		// implementation (there is no stability history to protect yet).
+		f.record(target)
+		return Decision{Level: target, Startup: defaultStartup(f.Manifest, target, s)}
+	}
+
+	// Gradual switching: the only reachable candidate is one rung toward
+	// the target, and up-switches wait longer at higher levels.
+	candidate := cur
+	switch {
+	case target > cur:
+		f.upCount++
+		if f.upCount >= cur+1 { // delayed update: patience grows with level
+			candidate = cur + 1
+		}
+	case target < cur:
+		f.upCount = 0
+		candidate = cur - 1
+	default:
+		f.upCount = 0
+	}
+
+	best := cur
+	if candidate != cur {
+		// Ties (up to rounding) break toward the candidate: it is the
+		// move toward the rate-based target.
+		if f.score(candidate, cur, rate) <= f.score(cur, cur, rate)+1e-9 {
+			best = candidate
+			if candidate > cur {
+				f.upCount = 0
+			}
+		}
+	}
+	f.record(best)
+	return Decision{Level: best, Startup: defaultStartup(f.Manifest, best, s)}
+}
+
+// score is stability + α·efficiency for hypothetically choosing level b.
+func (f *FESTIVE) score(b, cur int, rate float64) float64 {
+	switches := 0
+	prev := -1
+	for _, l := range f.levels {
+		if prev >= 0 && l != prev {
+			switches++
+		}
+		prev = l
+	}
+	if prev >= 0 && b != prev {
+		switches++
+	}
+	stability := math.Pow(2, float64(switches))
+
+	efficiency := 0.0
+	if rate > 0 {
+		efficiency = math.Abs(f.Manifest.Ladder[b]/(f.P*rate) - 1)
+	} else if b != cur {
+		efficiency = 1 // unknown bandwidth: any move is unjustified
+	}
+	return stability + f.Alpha*efficiency
+}
+
+// record appends a chosen level to the sliding history window.
+func (f *FESTIVE) record(level int) {
+	f.levels = append(f.levels, level)
+	if len(f.levels) > f.Window {
+		f.levels = f.levels[len(f.levels)-f.Window:]
+	}
+}

@@ -1,0 +1,34 @@
+package abr
+
+import "mpcdash/internal/model"
+
+// RB is the canonical rate-based algorithm (Sec 7.1.2): pick the highest
+// level whose bitrate does not exceed p times the predicted throughput
+// (harmonic mean of the past 5 chunks, supplied via State.Forecast).
+type RB struct {
+	Manifest *model.Manifest
+	P        float64 // safety factor p; the paper trains p = 1
+}
+
+// NewRB returns a Factory for the rate-based controller with safety factor
+// p (p ≤ 0 selects the paper's value of 1).
+func NewRB(p float64) Factory {
+	if p <= 0 {
+		p = 1
+	}
+	return func(m *model.Manifest) Controller {
+		return &RB{Manifest: m, P: p}
+	}
+}
+
+// Name implements Controller.
+func (r *RB) Name() string { return "RB" }
+
+// Decide implements Controller.
+func (r *RB) Decide(s State) Decision {
+	level := 0
+	if rate := s.PredictedRate(); rate > 0 {
+		level = r.Manifest.Ladder.HighestBelow(r.P * rate)
+	}
+	return Decision{Level: level, Startup: defaultStartup(r.Manifest, level, s)}
+}

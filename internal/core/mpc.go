@@ -1,0 +1,80 @@
+package core
+
+import (
+	"mpcdash/internal/abr"
+	"mpcdash/internal/model"
+)
+
+// MPC is the receding-horizon controller of Algorithm 1: at each chunk
+// boundary it solves the horizon QoE maximization with the current
+// throughput forecast and applies the first bitrate. With Robust set it
+// consumes the forecast's lower bound instead (State.Lower), which by
+// Theorem 1 solves the max-min robust problem exactly.
+type MPC struct {
+	Opt    *Optimizer
+	Robust bool
+	Label  string // display name; defaults to "MPC" / "RobustMPC"
+}
+
+// NewMPC returns a Factory for the basic MPC controller with horizon N
+// (N ≤ 0 selects the paper's 5) under the given QoE weights and buffer cap.
+func NewMPC(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int) abr.Factory {
+	return newMPCFactory(w, q, bufferMax, horizon, false, "")
+}
+
+// NewRobustMPC returns a Factory for RobustMPC (Sec 4.3).
+func NewRobustMPC(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int) abr.Factory {
+	return newMPCFactory(w, q, bufferMax, horizon, true, "")
+}
+
+// NewNamedMPC is NewMPC with an explicit display label (e.g. "MPC-OPT" when
+// paired with the oracle predictor).
+func NewNamedMPC(label string, w model.Weights, q model.QualityFunc, bufferMax float64, horizon int, robust bool) abr.Factory {
+	return newMPCFactory(w, q, bufferMax, horizon, robust, label)
+}
+
+func newMPCFactory(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int, robust bool, label string) abr.Factory {
+	return func(m *model.Manifest) abr.Controller {
+		opt, err := NewOptimizer(m, w, q, bufferMax, horizon)
+		if err != nil {
+			panic(err) // factories are built from validated configuration
+		}
+		return &MPC{Opt: opt, Robust: robust, Label: label}
+	}
+}
+
+// NewTerminalBufferMPC returns an MPC factory whose horizon objective also
+// rewards the buffer left at the end of the window with the given
+// kbps-per-second weight — the anti-myopia refinement discussed in
+// DESIGN.md. weight = 0 reproduces the paper's controller.
+func NewTerminalBufferMPC(label string, w model.Weights, q model.QualityFunc, bufferMax float64, horizon int, robust bool, weight float64) abr.Factory {
+	return func(m *model.Manifest) abr.Controller {
+		opt, err := NewOptimizer(m, w, q, bufferMax, horizon)
+		if err != nil {
+			panic(err)
+		}
+		opt.TerminalBufferWeight = weight
+		return &MPC{Opt: opt, Robust: robust, Label: label}
+	}
+}
+
+// Name implements abr.Controller.
+func (c *MPC) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	if c.Robust {
+		return "RobustMPC"
+	}
+	return "MPC"
+}
+
+// Decide implements abr.Controller.
+func (c *MPC) Decide(s abr.State) abr.Decision {
+	forecast := s.Forecast
+	if c.Robust && len(s.Lower) > 0 {
+		forecast = s.Lower
+	}
+	level, ts, _ := c.Opt.Plan(s.Chunk, s.Buffer, s.Prev, forecast, s.Startup)
+	return abr.Decision{Level: level, Startup: ts}
+}

@@ -1,0 +1,186 @@
+// Package core implements the paper's primary contribution: the model
+// predictive control approach to bitrate adaptation (Sec 4). An Optimizer
+// solves the horizon problem QOE_MAX_STEADY (and the startup variant
+// QOE_MAX with the joint startup-delay decision) by exact enumeration with
+// branch-and-bound pruning — the discrete program is small enough that
+// enumeration is the exact counterpart of the paper's CPLEX solves. The
+// MPC controller applies the first decision and recedes the horizon
+// (Algorithm 1); RobustMPC feeds the throughput lower bound instead of the
+// point estimate, which Theorem 1 proves is the exact max-min solution.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mpcdash/internal/model"
+)
+
+// minRate floors throughput predictions so a zero forecast yields an
+// enormous-but-finite rebuffer penalty instead of a division by zero; the
+// optimizer then naturally retreats to the lowest level.
+const minRate = 1e-3
+
+// Optimizer solves the horizon QoE maximization exactly.
+type Optimizer struct {
+	Manifest  *model.Manifest
+	Weights   model.Weights
+	Quality   model.QualityFunc
+	BufferMax float64 // B_max seconds
+	Horizon   int     // N, look-ahead chunks (paper: 5)
+
+	// Startup-delay grid for the f_stmpc problem: Ts is searched over
+	// multiples of TsStep in [0, TsMax].
+	TsStep float64 // default 0.5 s
+	TsMax  float64 // default BufferMax
+
+	// DisablePruning turns off the branch-and-bound cut, forcing full
+	// enumeration. The result is identical; the flag exists for the
+	// ablation benchmark quantifying what the bound saves.
+	DisablePruning bool
+
+	// TerminalBufferWeight rewards the buffer level left at the end of the
+	// horizon (kbps-equivalent per second). Receding-horizon control is
+	// myopic: a plan may spend the whole buffer on quality inside the
+	// window and leave nothing for what follows. A small terminal value
+	// (e.g. 0.1·µ) counteracts that; 0 reproduces the paper exactly.
+	TerminalBufferWeight float64
+}
+
+// NewOptimizer returns an optimizer with the paper's defaults for any
+// unset tuning field (horizon 5, Ts grid 0.5 s up to BufferMax).
+func NewOptimizer(m *model.Manifest, w model.Weights, q model.QualityFunc, bufferMax float64, horizon int) (*Optimizer, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil manifest")
+	}
+	if q == nil {
+		q = model.QIdentity
+	}
+	if bufferMax <= 0 {
+		return nil, fmt.Errorf("core: BufferMax must be positive, got %v", bufferMax)
+	}
+	if horizon <= 0 {
+		horizon = 5
+	}
+	return &Optimizer{
+		Manifest:  m,
+		Weights:   w,
+		Quality:   q,
+		BufferMax: bufferMax,
+		Horizon:   horizon,
+		TsStep:    0.5,
+		TsMax:     bufferMax,
+	}, nil
+}
+
+// Plan solves the horizon problem starting at chunk k with buffer B_k,
+// previous level prev (−1 if none) and the per-chunk throughput forecast.
+// With startup set it also optimizes the startup delay Ts (B_k = Ts,
+// objective −µs·Ts). It returns the optimal first level, the chosen Ts
+// (0 in steady state) and the achieved horizon QoE.
+func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, startup bool) (level int, ts float64, qoe float64) {
+	steps := o.Horizon
+	if rem := o.Manifest.ChunkCount - k; rem < steps {
+		steps = rem
+	}
+	if steps <= 0 {
+		return 0, 0, 0
+	}
+	rates := o.horizonRates(forecast, steps)
+
+	if !startup {
+		lvl, q := o.search(k, buffer, prev, rates, steps)
+		return lvl, 0, q
+	}
+
+	// Startup: grid-search Ts jointly with the bitrate plan.
+	bestLevel, bestTs, bestQoE := 0, 0.0, math.Inf(-1)
+	step := o.TsStep
+	if step <= 0 {
+		step = 0.5
+	}
+	max := o.TsMax
+	if max <= 0 {
+		max = o.BufferMax
+	}
+	for t := 0.0; t <= max+1e-9; t += step {
+		lvl, q := o.search(k, t, prev, rates, steps)
+		q -= o.Weights.MuS * t
+		// With µ = µs, trading startup delay for first-chunk stall is QoE
+		// neutral; among (near-)ties prefer the larger Ts, i.e. start
+		// playback only when it can proceed without an immediate stall.
+		if q > bestQoE+1e-6 || (q > bestQoE-1e-6 && t > bestTs) {
+			bestLevel, bestTs, bestQoE = lvl, t, q
+		}
+	}
+	return bestLevel, bestTs, bestQoE
+}
+
+// horizonRates pads or truncates the forecast to exactly n entries,
+// extending with the final value and flooring at minRate.
+func (o *Optimizer) horizonRates(forecast []float64, n int) []float64 {
+	rates := make([]float64, n)
+	last := minRate
+	for i := 0; i < n; i++ {
+		if i < len(forecast) && forecast[i] > 0 {
+			last = forecast[i]
+		}
+		rates[i] = math.Max(last, minRate)
+	}
+	return rates
+}
+
+// search exhaustively maximizes the horizon QoE by depth-first enumeration
+// with branch-and-bound: a partial plan is abandoned when even rebuffer-free
+// maximum-quality completion cannot beat the incumbent. Ties break toward
+// the lower level because ascending iteration only replaces on strict
+// improvement.
+func (o *Optimizer) search(k int, buffer float64, prev int, rates []float64, steps int) (int, float64) {
+	levels := o.Manifest.Levels()
+	qMax := o.Quality(o.Manifest.Ladder.Max())
+	// optimistic[d] bounds the QoE attainable from depth d onward,
+	// including the terminal buffer reward (at most the buffer cap).
+	optimistic := make([]float64, steps+1)
+	optimistic[steps] = o.TerminalBufferWeight * o.BufferMax
+	for d := steps - 1; d >= 0; d-- {
+		optimistic[d] = optimistic[d+1] + qMax
+	}
+
+	bestFirst, bestQoE := 0, math.Inf(-1)
+	// plan[d] is the level chosen at depth d for reporting the first move.
+	var dfs func(d int, buf float64, prevLvl int, acc float64, first int)
+	dfs = func(d int, buf float64, prevLvl int, acc float64, first int) {
+		if d == steps {
+			acc += o.TerminalBufferWeight * buf
+			if acc > bestQoE {
+				bestQoE = acc
+				bestFirst = first
+			}
+			return
+		}
+		if !o.DisablePruning && acc+optimistic[d] <= bestQoE {
+			return // even a perfect completion cannot win
+		}
+		chunk := k + d
+		for lvl := 0; lvl < levels; lvl++ {
+			size := o.Manifest.ChunkSize(chunk, lvl)
+			dl := size / rates[d]
+			rebuffer := math.Max(dl-buf, 0)
+			afterDrain := math.Max(buf-dl, 0) + o.Manifest.ChunkDuration
+			wait := math.Max(afterDrain-o.BufferMax, 0)
+			next := afterDrain - wait
+
+			gain := o.Quality(o.Manifest.Ladder[lvl]) - o.Weights.Mu*rebuffer
+			if prevLvl >= 0 {
+				gain -= o.Weights.Lambda * math.Abs(o.Quality(o.Manifest.Ladder[lvl])-o.Quality(o.Manifest.Ladder[prevLvl]))
+			}
+			f := first
+			if d == 0 {
+				f = lvl
+			}
+			dfs(d+1, next, lvl, acc+gain, f)
+		}
+	}
+	dfs(0, buffer, prev, 0, 0)
+	return bestFirst, bestQoE
+}

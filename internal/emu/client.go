@@ -1,0 +1,228 @@
+package emu
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/model"
+	"mpcdash/internal/mpd"
+	"mpcdash/internal/predictor"
+)
+
+// Client is the DASH player half of the emulation: it fetches the manifest,
+// then downloads chunks strictly sequentially, invoking the controller at
+// every chunk boundary — the modified dash.js behaviour of Sec 6. Buffer
+// accounting is in media seconds while downloads happen in (possibly
+// compressed) wall time; TimeScale is the media-seconds-per-wall-second
+// factor and must match the factor the link trace was scaled by.
+type Client struct {
+	BaseURL    string
+	Controller abr.Controller
+	Predictor  predictor.Predictor
+	BufferMax  float64 // media seconds
+	Horizon    int
+	TimeScale  float64 // media s per wall s (1 = real time)
+	HTTP       *http.Client
+	// Retries is the number of additional attempts per chunk after a
+	// failed or truncated download (dropped connection, 5xx). The retry
+	// time counts against the session like any stall, exactly as a real
+	// player experiences it. Default 2.
+	Retries int
+}
+
+// Run plays the whole video with the pre-bound Controller and returns the
+// session log in media-time units, directly comparable with simulator
+// output.
+func (c *Client) Run(ctx context.Context) (*model.SessionResult, error) {
+	return c.run(ctx, func(*model.Manifest) abr.Controller { return c.Controller })
+}
+
+// RunWithController fetches the manifest first and then binds the
+// controller to it — for factories that need the ladder and chunking
+// (every controller constructed via abr.Factory).
+func (c *Client) RunWithController(ctx context.Context, factory abr.Factory) (*model.SessionResult, error) {
+	return c.run(ctx, factory)
+}
+
+func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResult, error) {
+	if c.TimeScale <= 0 {
+		c.TimeScale = 1
+	}
+	if c.Horizon <= 0 {
+		c.Horizon = 5
+	}
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+
+	man, err := c.fetchManifest(ctx, httpc)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := bind(man)
+	res := &model.SessionResult{
+		Algorithm: ctrl.Name(),
+		Chunks:    make([]model.ChunkRecord, 0, man.ChunkCount),
+	}
+
+	var (
+		buffer float64 // media seconds
+		prev   = -1
+		start  = time.Now()
+	)
+	mediaNow := func() float64 { return time.Since(start).Seconds() * c.TimeScale }
+
+	for k := 0; k < man.ChunkCount; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("emu: session cancelled at chunk %d: %w", k, err)
+		}
+		t := mediaNow()
+		if ta, ok := c.Predictor.(predictor.TimeAware); ok {
+			ta.SetTime(t)
+		}
+		forecast := c.Predictor.Predict(c.Horizon)
+		var lower []float64
+		if lb, ok := c.Predictor.(predictor.LowerBounder); ok {
+			lower = lb.LowerBound(c.Horizon)
+		}
+		dec := ctrl.Decide(abr.State{
+			Chunk:    k,
+			Buffer:   buffer,
+			Prev:     prev,
+			Time:     t,
+			Forecast: forecast,
+			Lower:    lower,
+		})
+		level := man.Ladder.Clamp(dec.Level)
+
+		wallStart := time.Now()
+		bytes, err := c.fetchChunk(ctx, httpc, level, k+1)
+		if err != nil {
+			return nil, err
+		}
+		dlWall := time.Since(wallStart).Seconds()
+		dl := dlWall * c.TimeScale // media-time download duration
+		sizeKbits := float64(bytes) * 8 / 1000
+		throughput := sizeKbits / dl // kbps in media time == trace units
+
+		if k == 0 {
+			// Play as soon as the first chunk arrives (StartupFirstChunk).
+			res.StartupDelay = dl
+			buffer = dl
+		}
+		rebuffer := math.Max(dl-buffer, 0)
+		afterDrain := math.Max(buffer-dl, 0) + man.ChunkDuration
+		wait := math.Max(afterDrain-c.BufferMax, 0)
+		next := afterDrain - wait
+
+		c.Predictor.Observe(throughput)
+		var predicted float64
+		if len(forecast) > 0 {
+			predicted = forecast[0]
+		}
+		res.Chunks = append(res.Chunks, model.ChunkRecord{
+			Index:        k,
+			Level:        level,
+			Bitrate:      man.Ladder[level],
+			SizeKbits:    sizeKbits,
+			StartTime:    t,
+			DownloadTime: dl,
+			Throughput:   throughput,
+			BufferBefore: buffer,
+			BufferAfter:  next,
+			Rebuffer:     rebuffer,
+			Wait:         wait,
+			Predicted:    predicted,
+		})
+		buffer = next
+		if wait > 0 {
+			// Buffer full: hold off in wall time like a real player.
+			time.Sleep(time.Duration(wait / c.TimeScale * float64(time.Second)))
+		}
+	}
+	return res, nil
+}
+
+// fetchManifest downloads and converts the MPD into a model.Manifest.
+func (c *Client) fetchManifest(ctx context.Context, httpc *http.Client) (*model.Manifest, error) {
+	body, err := c.get(ctx, httpc, c.BaseURL+"/manifest.mpd")
+	if err != nil {
+		return nil, err
+	}
+	doc, err := mpd.Decode(body)
+	if err != nil {
+		return nil, err
+	}
+	as := doc.Period.AdaptationSet
+	man, err := model.NewCBRManifest(model.Ladder(doc.LadderKbps()), as.SegmentCount, as.SegmentDuration)
+	if err != nil {
+		return nil, fmt.Errorf("emu: manifest rejected: %w", err)
+	}
+	return man, nil
+}
+
+// fetchChunk downloads one media segment and returns its byte count,
+// retrying dropped or truncated transfers up to c.Retries extra times.
+func (c *Client) fetchChunk(ctx context.Context, httpc *http.Client, level, number int) (int64, error) {
+	retries := c.Retries
+	if retries <= 0 {
+		retries = 2
+	}
+	url := fmt.Sprintf("%s/video/%d/%d.m4s", c.BaseURL, level, number)
+	var lastErr error
+	for attempt := 0; attempt <= retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return 0, fmt.Errorf("emu: chunk %d level %d: %w", number, level, err)
+		}
+		n, err := c.fetchOnce(ctx, httpc, url)
+		if err == nil {
+			return n, nil
+		}
+		lastErr = err
+	}
+	return 0, fmt.Errorf("emu: chunk %d level %d failed after %d attempts: %w", number, level, retries+1, lastErr)
+}
+
+func (c *Client) fetchOnce(ctx context.Context, httpc *http.Client, url string) (int64, error) {
+	body, err := c.getReader(ctx, httpc, url)
+	if err != nil {
+		return 0, err
+	}
+	defer body.Close()
+	return io.Copy(io.Discard, body)
+}
+
+func (c *Client) get(ctx context.Context, httpc *http.Client, url string) ([]byte, error) {
+	body, err := c.getReader(ctx, httpc, url)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("emu: reading %s: %w", url, err)
+	}
+	return data, nil
+}
+
+func (c *Client) getReader(ctx context.Context, httpc *http.Client, url string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, fmt.Errorf("emu: building request for %s: %w", url, err)
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("emu: GET %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("emu: GET %s: status %s", url, resp.Status)
+	}
+	return resp.Body, nil
+}

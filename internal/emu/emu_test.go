@@ -1,0 +1,331 @@
+package emu
+
+import (
+	"context"
+	"math"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/model"
+	"mpcdash/internal/predictor"
+	"mpcdash/internal/trace"
+)
+
+// testVideo is a short manifest so emulation tests finish in seconds.
+func testVideo(t *testing.T, chunks int) *model.Manifest {
+	t.Helper()
+	m, err := model.NewCBRManifest(model.EnvivioLadder(), chunks, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// session runs one end-to-end emulated playback at the given time scale.
+func session(t *testing.T, m *model.Manifest, tr *trace.Trace, scale float64, factory abr.Factory, pred predictor.Predictor) *model.SessionResult {
+	t.Helper()
+	srv := NewServer(m)
+	base, err := srv.Start(NewShaper(tr.Scale(scale, scale)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	client := &Client{
+		BaseURL:    base,
+		Controller: factory(m),
+		Predictor:  pred,
+		BufferMax:  30,
+		Horizon:    5,
+		TimeScale:  scale,
+		HTTP:       &http.Client{Timeout: 50 * time.Second},
+	}
+	res, err := client.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestEmulatedSessionCompletes(t *testing.T) {
+	m := testVideo(t, 8)
+	tr, err := trace.FromRates("const1500", 8, []float64{1500, 1500, 1500, 1500, 1500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := session(t, m, tr, 20, abr.NewRB(1), predictor.NewHarmonicMean(5))
+	if len(res.Chunks) != 8 {
+		t.Fatalf("chunks = %d, want 8", len(res.Chunks))
+	}
+	for _, c := range res.Chunks {
+		if c.SizeKbits <= 0 || c.DownloadTime <= 0 || c.Throughput <= 0 {
+			t.Errorf("chunk %d has degenerate record: %+v", c.Index, c)
+		}
+	}
+	if res.StartupDelay <= 0 {
+		t.Error("startup delay should be positive (first-chunk download time)")
+	}
+}
+
+// TestEmulatedThroughputTracksTrace: measured per-chunk throughput should be
+// in the neighbourhood of the shaped link rate (TCP/HTTP overhead and pacing
+// granularity allow a generous tolerance).
+func TestEmulatedThroughputTracksTrace(t *testing.T) {
+	m := testVideo(t, 6)
+	const kbps = 2000.0
+	tr, err := trace.FromRates("const", 60, []float64{kbps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := session(t, m, tr, 10, abr.NewFixed(2), predictor.NewHarmonicMean(5))
+	for _, c := range res.Chunks[1:] { // skip connection warm-up
+		if c.Throughput < kbps*0.5 || c.Throughput > kbps*1.6 {
+			t.Errorf("chunk %d throughput %v kbps, want ≈%v", c.Index, c.Throughput, kbps)
+		}
+	}
+}
+
+// TestEmulatedABRReactsToBandwidth: with a link below the top rung, the
+// rate-based controller must settle below the top level; with an ample
+// link it must reach the top.
+func TestEmulatedABRReactsToBandwidth(t *testing.T) {
+	m := testVideo(t, 8)
+	slow, err := trace.FromRates("slow", 60, []float64{800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := session(t, m, slow, 10, abr.NewRB(1), predictor.NewHarmonicMean(5))
+	for _, c := range res.Chunks[2:] {
+		if c.Level > 1 {
+			t.Errorf("chunk %d at level %d on an 800 kbps link", c.Index, c.Level)
+		}
+	}
+
+	fast, err := trace.FromRates("fast", 60, []float64{8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = session(t, m, fast, 10, abr.NewRB(1), predictor.NewHarmonicMean(5))
+	top := 0
+	for _, c := range res.Chunks {
+		if c.Level > top {
+			top = c.Level
+		}
+	}
+	if top < 4 {
+		t.Errorf("max level %d on an 8 Mbps link, want 4", top)
+	}
+}
+
+// TestEmulatedMPCSession: the full MPC controller over real HTTP.
+func TestEmulatedMPCSession(t *testing.T) {
+	m := testVideo(t, 8)
+	tr, err := trace.FromRates("varying", 6, []float64{2500, 1200, 600, 1800, 2500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := predictor.NewErrorTracked(predictor.NewHarmonicMean(5), 5)
+	res := session(t, m, tr, 15, core.NewRobustMPC(model.Balanced, model.QIdentity, 30, 5), pred)
+	if len(res.Chunks) != 8 {
+		t.Fatalf("chunks = %d, want 8", len(res.Chunks))
+	}
+	qoe := res.QoE(model.Balanced, model.QIdentity)
+	if math.IsNaN(qoe) || math.IsInf(qoe, 0) {
+		t.Errorf("QoE = %v", qoe)
+	}
+}
+
+// TestEmulationMatchesSimulator: the emulated session's buffer dynamics obey
+// the same Eq. (3) invariants the simulator guarantees.
+func TestEmulationMatchesSimulator(t *testing.T) {
+	m := testVideo(t, 8)
+	tr, err := trace.FromRates("inv", 8, []float64{1500, 900, 2000, 1200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := session(t, m, tr, 15, abr.NewBB(5, 10), predictor.NewHarmonicMean(5))
+	for i, c := range res.Chunks {
+		if c.BufferAfter < -1e-9 || c.BufferAfter > 30+1e-9 {
+			t.Errorf("chunk %d buffer %v outside [0, 30]", i, c.BufferAfter)
+		}
+		want := math.Max(c.BufferBefore-c.DownloadTime, 0) + m.ChunkDuration - c.Wait
+		if math.Abs(want-c.BufferAfter) > 1e-6 {
+			t.Errorf("chunk %d: Eq. (3) violated: %v vs %v", i, want, c.BufferAfter)
+		}
+	}
+}
+
+func TestServerRejectsBadPaths(t *testing.T) {
+	m := testVideo(t, 4)
+	srv := NewServer(m)
+	tr, err := trace.FromRates("fast", 60, []float64{100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := srv.Start(NewShaper(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	for _, path := range []string{
+		"/video/0/0.m4s",  // number below 1
+		"/video/0/99.m4s", // number beyond chunk count
+		"/video/9/1.m4s",  // level out of range
+		"/video/0/1.mp4",  // wrong suffix
+		"/video/abc/1.m4s",
+		"/nothing",
+	} {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestRunWithController binds the controller to the fetched manifest, the
+// path dashclient uses.
+func TestRunWithController(t *testing.T) {
+	m := testVideo(t, 5)
+	tr, err := trace.FromRates("c", 60, []float64{3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+	base, err := srv.Start(NewShaper(tr.Scale(10, 10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := &Client{
+		BaseURL:   base,
+		Predictor: predictor.NewHarmonicMean(5),
+		BufferMax: 30,
+		TimeScale: 10,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := client.RunWithController(ctx, abr.NewBB(5, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "BB" || len(res.Chunks) != 5 {
+		t.Fatalf("algorithm %q, %d chunks", res.Algorithm, len(res.Chunks))
+	}
+}
+
+// TestClientCancellation: a cancelled context aborts the session cleanly.
+func TestClientCancellation(t *testing.T) {
+	m := testVideo(t, 20)
+	tr, err := trace.FromRates("slowlink", 60, []float64{200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+	base, err := srv.Start(NewShaper(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	client := &Client{
+		BaseURL:    base,
+		Controller: abr.NewRB(1)(m),
+		Predictor:  predictor.NewHarmonicMean(5),
+		BufferMax:  30,
+		TimeScale:  1,
+	}
+	if _, err := client.Run(ctx); err == nil {
+		t.Fatal("expected cancellation error on a crawling link")
+	}
+}
+
+// TestFaultInjectionRetries: with connections randomly severed mid-chunk,
+// the client's retry loop must still complete the session.
+func TestFaultInjectionRetries(t *testing.T) {
+	m := testVideo(t, 6)
+	tr, err := trace.FromRates("f", 60, []float64{4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := NewFaultyListener(ln, FaultConfig{DropRate: 0.01, Seed: 3})
+	shaped := NewListener(faulty, NewShaper(tr.Scale(10, 10)))
+	go func() { _ = srv.ServeOn(shaped) }()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	client := &Client{
+		BaseURL:    "http://" + ln.Addr().String(),
+		Controller: abr.NewBB(5, 10)(m),
+		Predictor:  predictor.NewHarmonicMean(5),
+		BufferMax:  30,
+		TimeScale:  10,
+		Retries:    20,
+	}
+	res, err := client.Run(ctx)
+	if err != nil {
+		t.Fatalf("session failed despite retries: %v", err)
+	}
+	if len(res.Chunks) != 6 {
+		t.Fatalf("chunks = %d", len(res.Chunks))
+	}
+}
+
+// TestFaultLatency: injected latency shows up as slower chunk downloads.
+func TestFaultLatency(t *testing.T) {
+	m := testVideo(t, 3)
+	tr, err := trace.FromRates("l", 60, []float64{50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(latency time.Duration) float64 {
+		srv := NewServer(m)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		faulty := NewFaultyListener(ln, FaultConfig{Latency: latency, Seed: 1})
+		shaped := NewListener(faulty, NewShaper(tr))
+		go func() { _ = srv.ServeOn(shaped) }()
+		defer srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		client := &Client{
+			BaseURL:    "http://" + ln.Addr().String(),
+			Controller: abr.NewFixed(0)(m),
+			Predictor:  predictor.NewHarmonicMean(5),
+			BufferMax:  30,
+			TimeScale:  1,
+		}
+		res, err := client.Run(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total float64
+		for _, c := range res.Chunks {
+			total += c.DownloadTime
+		}
+		return total
+	}
+	fast := run(0)
+	slow := run(150 * time.Millisecond)
+	if slow <= fast {
+		t.Errorf("latency injection had no effect: %v vs %v", slow, fast)
+	}
+}

@@ -1,0 +1,84 @@
+package emu
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// FaultConfig injects transport-level impairments into the shaped link,
+// turning the clean loopback testbed into a hostile one: added latency per
+// write burst and randomly severed connections. Real CDN paths fail this
+// way, and a player that cannot ride out a dropped connection never
+// survives outside the lab.
+type FaultConfig struct {
+	// Latency delays the first write of every connection (handshake-ish
+	// cost) and each subsequent write quantum by Latency/10.
+	Latency time.Duration
+	// DropRate is the per-write probability that the connection is severed
+	// mid-transfer (the client sees an unexpected EOF).
+	DropRate float64
+	// Seed makes the fault sequence deterministic.
+	Seed int64
+}
+
+// FaultyListener wraps a listener with fault injection on accepted conns.
+type FaultyListener struct {
+	net.Listener
+	cfg FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultyListener injects the configured faults into every connection
+// accepted from inner.
+func NewFaultyListener(inner net.Listener, cfg FaultConfig) *FaultyListener {
+	return &FaultyListener{
+		Listener: inner,
+		cfg:      cfg,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+	}
+}
+
+// Accept implements net.Listener.
+func (l *FaultyListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &faultyConn{Conn: c, parent: l}, nil
+}
+
+// roll draws a uniform variate under the listener's lock.
+func (l *FaultyListener) roll() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// faultyConn applies the parent's fault model to writes.
+type faultyConn struct {
+	net.Conn
+	parent *FaultyListener
+	warmed bool
+}
+
+// Write implements net.Conn.
+func (c *faultyConn) Write(p []byte) (int, error) {
+	cfg := c.parent.cfg
+	if !c.warmed {
+		c.warmed = true
+		if cfg.Latency > 0 {
+			time.Sleep(cfg.Latency)
+		}
+	} else if cfg.Latency > 0 {
+		time.Sleep(cfg.Latency / 10)
+	}
+	if cfg.DropRate > 0 && c.parent.roll() < cfg.DropRate {
+		c.Conn.Close()
+		return 0, net.ErrClosed
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,107 @@
+package emu
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"mpcdash/internal/model"
+	"mpcdash/internal/mpd"
+)
+
+// Server is the chunk origin: it serves the MPD manifest at /manifest.mpd
+// and chunk payloads at /video/<level>/<number>.m4s, the node.js role in
+// the paper's testbed. Payload bytes are a deterministic pattern of the
+// exact manifest-declared length.
+type Server struct {
+	Manifest *model.Manifest
+
+	http *http.Server
+	addr string
+}
+
+// NewServer builds a server for the given video.
+func NewServer(m *model.Manifest) *Server {
+	s := &Server{Manifest: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/manifest.mpd", s.handleManifest)
+	mux.HandleFunc("/video/", s.handleChunk)
+	s.http = &http.Server{Handler: mux}
+	return s
+}
+
+// Start begins serving on a loopback port with all responses shaped by s's
+// trace, returning the base URL (e.g. "http://127.0.0.1:41234").
+func (s *Server) Start(shaper *Shaper) (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("emu: listen: %w", err)
+	}
+	s.addr = ln.Addr().String()
+	go func() {
+		// Serve returns ErrServerClosed on Close; other errors mean the
+		// listener died, which the client will observe as request errors.
+		_ = s.http.Serve(NewListener(ln, shaper))
+	}()
+	return "http://" + s.addr, nil
+}
+
+// ServeOn serves on a caller-provided listener (typically an emu.Listener
+// wrapping a shaped link) and blocks until the server is closed.
+func (s *Server) ServeOn(ln net.Listener) error {
+	s.addr = ln.Addr().String()
+	return s.http.Serve(ln)
+}
+
+// Close shuts the server down immediately.
+func (s *Server) Close() error { return s.http.Close() }
+
+func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
+	doc := mpd.FromManifest(s.Manifest, "/video")
+	data, err := doc.Encode()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/dash+xml")
+	_, _ = w.Write(data)
+}
+
+// handleChunk serves /video/<level>/<number>.m4s; numbers are 1-based as in
+// DASH $Number$ templates.
+func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
+	parts := strings.Split(strings.TrimPrefix(r.URL.Path, "/video/"), "/")
+	if len(parts) != 2 || !strings.HasSuffix(parts[1], ".m4s") {
+		http.NotFound(w, r)
+		return
+	}
+	level, err1 := strconv.Atoi(parts[0])
+	number, err2 := strconv.Atoi(strings.TrimSuffix(parts[1], ".m4s"))
+	if err1 != nil || err2 != nil ||
+		level < 0 || level >= s.Manifest.Levels() ||
+		number < 1 || number > s.Manifest.ChunkCount {
+		http.NotFound(w, r)
+		return
+	}
+	size := mpd.ChunkBytes(s.Manifest, number-1, level)
+	w.Header().Set("Content-Type", "video/iso.segment")
+	w.Header().Set("Content-Length", strconv.Itoa(size))
+
+	// Deterministic payload; written in slices to cooperate with shaping.
+	buf := make([]byte, 32*1024)
+	for i := range buf {
+		buf[i] = byte(i % 251)
+	}
+	for size > 0 {
+		n := size
+		if n > len(buf) {
+			n = len(buf)
+		}
+		if _, err := w.Write(buf[:n]); err != nil {
+			return // client went away
+		}
+		size -= n
+	}
+}

@@ -1,0 +1,93 @@
+// Package emu is the real-network counterpart of the simulator (Sec 7.2):
+// an HTTP chunk server and a DASH client exchanging real bytes over real
+// TCP sockets, with the link throughput shaped to follow a throughput trace
+// — the role the paper's `tc` throttling plays on Emulab. A time-scale
+// factor compresses the experiment so a 260 s session can run in seconds of
+// wall time while exercising the identical controller code path.
+package emu
+
+import (
+	"net"
+	"time"
+
+	"mpcdash/internal/trace"
+)
+
+// shapeQuantum is the pacing granularity of the shaper. Small enough that
+// chunk downloads span many quanta even under time compression.
+const shapeQuantum = 2 * time.Millisecond
+
+// Shaper paces writes on a connection so the delivered rate follows the
+// trace (already time-compressed by the caller if desired). One Shaper
+// shapes one direction of one link; concurrent connections sharing it
+// contend for the same tokens like flows sharing a bottleneck.
+type Shaper struct {
+	Trace *trace.Trace
+	start time.Time
+}
+
+// NewShaper starts the shaping clock now.
+func NewShaper(tr *trace.Trace) *Shaper {
+	return &Shaper{Trace: tr, start: time.Now()}
+}
+
+// allowance returns how many bytes may be sent during the quantum starting
+// at elapsed time e.
+func (s *Shaper) allowance(e time.Duration) int {
+	kbps := s.Trace.RateAt(e.Seconds())
+	b := int(kbps * 1000 / 8 * shapeQuantum.Seconds())
+	if b < 1 {
+		b = 1 // never stall completely; a real link drains eventually
+	}
+	return b
+}
+
+// shapedConn rate-limits Write according to the shaper's trace.
+type shapedConn struct {
+	net.Conn
+	s *Shaper
+}
+
+// Write implements net.Conn, pacing the payload into per-quantum slices.
+func (c *shapedConn) Write(p []byte) (int, error) {
+	var written int
+	for len(p) > 0 {
+		e := time.Since(c.s.start)
+		n := c.s.allowance(e)
+		if n > len(p) {
+			n = len(p)
+		}
+		w, err := c.Conn.Write(p[:n])
+		written += w
+		if err != nil {
+			return written, err
+		}
+		p = p[w:]
+		if len(p) > 0 {
+			// Wait out the remainder of the quantum before the next slice.
+			time.Sleep(shapeQuantum)
+		}
+	}
+	return written, nil
+}
+
+// Listener wraps an accepting listener so every connection's writes are
+// shaped by the same Shaper (one bottleneck link).
+type Listener struct {
+	net.Listener
+	Shaper *Shaper
+}
+
+// NewListener shapes all connections accepted from inner.
+func NewListener(inner net.Listener, s *Shaper) *Listener {
+	return &Listener{Listener: inner, Shaper: s}
+}
+
+// Accept implements net.Listener.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return &shapedConn{Conn: c, s: l.Shaper}, nil
+}

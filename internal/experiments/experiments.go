@@ -1,0 +1,110 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec 7). Each FigNN/TableNN function runs the corresponding
+// workload and returns the plotted series; Print renders them as aligned
+// text rows. cmd/experiments drives them from the command line and the
+// repository-root benchmarks wrap them as testing.B targets. See the
+// per-experiment index in DESIGN.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"mpcdash/internal/model"
+	"mpcdash/internal/runner"
+	"mpcdash/internal/stats"
+	"mpcdash/internal/trace"
+)
+
+// Config scopes an experiment run.
+type Config struct {
+	TraceCount int       // traces per dataset (paper: 1000; default 100)
+	Seed       int64     // base seed for workload generation
+	Out        io.Writer // row sink; nil discards
+	CDFPoints  int       // CDF down-sampling for printed series (default 11)
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.TraceCount <= 0 {
+		c.TraceCount = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.CDFPoints <= 0 {
+		c.CDFPoints = 11
+	}
+	return c
+}
+
+func (c Config) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.Out, format, args...)
+}
+
+// datasets returns the three trace populations sized for the video.
+func (c Config) datasets(videoDur float64) map[string][]*trace.Trace {
+	dur := videoDur + 120 // headroom so slow sessions never exhaust the trace
+	return map[string][]*trace.Trace{
+		"FCC":       trace.Dataset(trace.FCC, c.TraceCount, dur, c.Seed),
+		"HSDPA":     trace.Dataset(trace.HSDPA, c.TraceCount, dur, c.Seed+1),
+		"Synthetic": trace.Dataset(trace.Synthetic, c.TraceCount, dur, c.Seed+2),
+	}
+}
+
+// datasetNames is the canonical print order.
+var datasetNames = []string{"FCC", "HSDPA", "Synthetic"}
+
+// Series is one labelled line of a figure.
+type Series struct {
+	Label string
+	CDF   stats.CDF
+}
+
+// printCDF renders a down-sampled CDF as "x:p" pairs.
+func (c Config) printCDF(label string, cdf stats.CDF) {
+	p := cdf.Points(c.CDFPoints)
+	c.printf("  %-22s", label)
+	for i := range p.X {
+		c.printf(" %8.2f:%.2f", p.X[i], p.P[i])
+	}
+	c.printf("\n")
+}
+
+// sortedKeys returns map keys in sorted order for stable output.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// newRunner builds a session runner for the standard video under the given
+// weights.
+func newRunner(m *model.Manifest, w model.Weights, bufferMax float64, horizon int) *runner.Runner {
+	r := runner.New(m)
+	r.Weights = w
+	r.Sim.BufferMax = bufferMax
+	r.Sim.Horizon = horizon
+	return r
+}
+
+// normQoE extracts the normalized-QoE series of a dataset run.
+func normQoE(outs []runner.Outcome) []float64 {
+	return runner.Select(outs, func(o runner.Outcome) float64 { return o.NormQoE })
+}
+
+// medians summarizes per-algorithm median normalized QoE.
+func medians(byAlg map[string][]runner.Outcome) map[string]float64 {
+	out := make(map[string]float64, len(byAlg))
+	for name, outs := range byAlg {
+		out[name] = stats.Median(normQoE(outs))
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package fastmpc
+
+import (
+	"sync"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/model"
+)
+
+// Controller is the online half of FastMPC: a pure table lookup keyed by
+// the binned (buffer, previous level, predicted throughput) state. With
+// Robust set it queries the table with the forecast's lower bound, giving
+// the RobustMPC behaviour at FastMPC cost (Theorem 1 makes the two
+// controllers differ only in the throughput input).
+//
+// The table covers the steady-state problem; pair FastMPC sessions with
+// sim.StartupFirstChunk, the policy the dash.js prototype uses.
+type Controller struct {
+	Table  *CompressedTable
+	Robust bool
+	Label  string
+}
+
+// NewController returns a Factory that builds the decision table once per
+// manifest and shares it across sessions (lookups are read-only and safe
+// for concurrent use). Table construction panics on configuration errors,
+// as factories are assembled from validated experiment configs.
+func NewController(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int, spec *BinSpec, robust bool, label string) abr.Factory {
+	var (
+		mu    sync.Mutex
+		cache = map[*model.Manifest]*CompressedTable{}
+	)
+	return func(m *model.Manifest) abr.Controller {
+		mu.Lock()
+		defer mu.Unlock()
+		table, ok := cache[m]
+		if !ok {
+			opt, err := core.NewOptimizer(m, w, q, bufferMax, horizon)
+			if err != nil {
+				panic(err)
+			}
+			sp := DefaultBins(bufferMax, m.Ladder.Max())
+			if spec != nil {
+				sp = *spec
+			}
+			full, err := Build(opt, sp)
+			if err != nil {
+				panic(err)
+			}
+			table = Compress(full)
+			cache[m] = table
+		}
+		return &Controller{Table: table, Robust: robust, Label: label}
+	}
+}
+
+// Name implements abr.Controller.
+func (c *Controller) Name() string {
+	if c.Label != "" {
+		return c.Label
+	}
+	if c.Robust {
+		return "RobustFastMPC"
+	}
+	return "FastMPC"
+}
+
+// Decide implements abr.Controller.
+func (c *Controller) Decide(s abr.State) abr.Decision {
+	rate := s.PredictedRate()
+	if c.Robust && len(s.Lower) > 0 && s.Lower[0] > 0 {
+		rate = s.Lower[0]
+	}
+	return abr.Decision{Level: c.Table.Lookup(s.Buffer, s.Prev, rate)}
+}

@@ -1,0 +1,272 @@
+package fastmpc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/model"
+)
+
+func smallTable(t *testing.T) (*core.Optimizer, *Table) {
+	t.Helper()
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := BinSpec{BufferBins: 20, BufferMax: 30, RateBins: 20, RateMin: 10, RateMax: 6000}
+	table, err := Build(opt, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return opt, table
+}
+
+func TestBinSpecValidate(t *testing.T) {
+	good := DefaultBins(30, 3000)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []BinSpec{
+		{BufferBins: 1, BufferMax: 30, RateBins: 10, RateMin: 10, RateMax: 100},
+		{BufferBins: 10, BufferMax: 0, RateBins: 10, RateMin: 10, RateMax: 100},
+		{BufferBins: 10, BufferMax: 30, RateBins: 1, RateMin: 10, RateMax: 100},
+		{BufferBins: 10, BufferMax: 30, RateBins: 10, RateMin: 0, RateMax: 100},
+		{BufferBins: 10, BufferMax: 30, RateBins: 10, RateMin: 100, RateMax: 100},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("spec %d should be invalid", i)
+		}
+	}
+}
+
+func TestBinQuantization(t *testing.T) {
+	s := BinSpec{BufferBins: 10, BufferMax: 30, RateBins: 10, RateMin: 0.001, RateMax: 1000}
+	if s.BufferBin(-5) != 0 || s.BufferBin(0) != 0 {
+		t.Error("buffer underflow should clamp to bin 0")
+	}
+	if s.BufferBin(30) != 9 || s.BufferBin(100) != 9 {
+		t.Error("buffer overflow should clamp to last bin")
+	}
+	if s.BufferBin(15) != 5 {
+		t.Errorf("BufferBin(15) = %d, want 5", s.BufferBin(15))
+	}
+	// Round trip: a bin's representative value quantizes to the same bin.
+	for b := 0; b < 10; b++ {
+		if got := s.BufferBin(s.BufferValue(b)); got != b {
+			t.Errorf("buffer bin %d round-trips to %d", b, got)
+		}
+		if got := s.RateBin(s.RateValue(b)); got != b {
+			t.Errorf("rate bin %d round-trips to %d", b, got)
+		}
+	}
+}
+
+// TestTableMatchesOptimizer: looking up a bin's representative state must
+// return exactly what the optimizer decides for it.
+func TestTableMatchesOptimizer(t *testing.T) {
+	opt, table := smallTable(t)
+	for bBin := 0; bBin < table.Spec.BufferBins; bBin += 3 {
+		for prev := 0; prev < table.Levels; prev++ {
+			for rBin := 0; rBin < table.Spec.RateBins; rBin += 3 {
+				buffer := table.Spec.BufferValue(bBin)
+				rate := table.Spec.RateValue(rBin)
+				want, _, _ := opt.Plan(0, buffer, prev, []float64{rate}, false)
+				if got := table.Lookup(buffer, prev, rate); got != want {
+					t.Fatalf("Lookup(%.1f,%d,%.0f) = %d, optimizer says %d", buffer, prev, rate, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestLookupPrevClamping(t *testing.T) {
+	_, table := smallTable(t)
+	if got, want := table.Lookup(10, -1, 1000), table.Lookup(10, 0, 1000); got != want {
+		t.Errorf("prev=-1 should clamp to 0: %d vs %d", got, want)
+	}
+	if got, want := table.Lookup(10, 99, 1000), table.Lookup(10, 4, 1000); got != want {
+		t.Errorf("prev=99 should clamp to top: %d vs %d", got, want)
+	}
+}
+
+// TestTableAnchors pins the table's corners: starved states choose the
+// bottom of the ladder, rich states the top. (Full monotonicity in rate is
+// not a theorem — the optimal timing of up-switches can invert locally —
+// but the corners are unambiguous.)
+func TestTableAnchors(t *testing.T) {
+	_, table := smallTable(t)
+	for prev := 0; prev < table.Levels; prev++ {
+		// Lowest rate bin, nearly empty buffer: any higher level only adds
+		// rebuffer.
+		if got := table.Lookup(0.5, prev, table.Spec.RateMin); got != 0 {
+			t.Errorf("starved state prev=%d chose %d, want 0", prev, got)
+		}
+		// Highest rate bin, full buffer: bandwidth covers the top level
+		// with room to spare.
+		if got := table.Lookup(table.Spec.BufferMax, prev, table.Spec.RateMax); got != table.Levels-1 {
+			t.Errorf("rich state prev=%d chose %d, want %d", prev, got, table.Levels-1)
+		}
+	}
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	_, table := smallTable(t)
+	c := Compress(table)
+	if c.Runs() >= len(table.Entries) {
+		t.Errorf("RLE did not compress: %d runs for %d entries", c.Runs(), len(table.Entries))
+	}
+	back := c.Decompress()
+	if len(back.Entries) != len(table.Entries) {
+		t.Fatalf("decompressed length %d, want %d", len(back.Entries), len(table.Entries))
+	}
+	for i := range table.Entries {
+		if back.Entries[i] != table.Entries[i] {
+			t.Fatalf("entry %d: %d != %d", i, back.Entries[i], table.Entries[i])
+		}
+	}
+}
+
+// TestCompressedLookupEquivalence: binary-search lookup over runs equals
+// flat-table indexing for every state, the Sec 5.2 correctness claim.
+func TestCompressedLookupEquivalence(t *testing.T) {
+	_, table := smallTable(t)
+	c := Compress(table)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		buffer := rng.Float64()*40 - 5
+		prev := rng.Intn(7) - 1
+		rate := rng.Float64() * 8000
+		if got, want := c.Lookup(buffer, prev, rate), table.Lookup(buffer, prev, rate); got != want {
+			t.Fatalf("compressed lookup (%v,%d,%v) = %d, flat = %d", buffer, prev, rate, got, want)
+		}
+	}
+}
+
+// TestRLEProperty: encode→decode is the identity on arbitrary byte tables.
+func TestRLEProperty(t *testing.T) {
+	f := func(entries []uint8) bool {
+		if len(entries) == 0 {
+			return true
+		}
+		tbl := &Table{
+			Spec:    BinSpec{BufferBins: len(entries), BufferMax: 30, RateBins: 1, RateMin: 1, RateMax: 2},
+			Levels:  1,
+			Entries: entries,
+		}
+		c := Compress(tbl)
+		back := c.Decompress()
+		if len(back.Entries) != len(entries) {
+			return false
+		}
+		for i := range entries {
+			if back.Entries[i] != entries[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	_, table := smallTable(t)
+	blob := table.Serialize()
+	back, err := Deserialize(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec.BufferBins != table.Spec.BufferBins || back.Levels != table.Levels {
+		t.Fatalf("header mismatch: %+v vs %+v", back.Spec, table.Spec)
+	}
+	for i := range table.Entries {
+		if back.Entries[i] != table.Entries[i] {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+
+	c := Compress(table)
+	cblob := c.Serialize()
+	if len(cblob) != c.SizeBytes() {
+		t.Errorf("SizeBytes = %d, serialized = %d", c.SizeBytes(), len(cblob))
+	}
+	cback, err := DeserializeCompressed(cblob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		buffer := float64(i%40) - 2
+		rate := float64(i * 7 % 7000)
+		if cback.Lookup(buffer, i%5, rate) != c.Lookup(buffer, i%5, rate) {
+			t.Fatalf("lookup %d differs after round trip", i)
+		}
+	}
+}
+
+func TestDeserializeErrors(t *testing.T) {
+	if _, err := Deserialize([]byte{1, 2, 3}); err == nil {
+		t.Error("short blob should fail")
+	}
+	if _, err := DeserializeCompressed([]byte{1, 2, 3}); err == nil {
+		t.Error("short compressed blob should fail")
+	}
+	_, table := smallTable(t)
+	blob := table.Serialize()
+	if _, err := Deserialize(blob[:len(blob)-5]); err == nil {
+		t.Error("truncated blob should fail")
+	}
+	cblob := Compress(table).Serialize()
+	if _, err := DeserializeCompressed(cblob[:len(cblob)-3]); err == nil {
+		t.Error("truncated compressed blob should fail")
+	}
+}
+
+func TestControllerDecide(t *testing.T) {
+	m := model.EnvivioManifest()
+	spec := BinSpec{BufferBins: 20, BufferMax: 30, RateBins: 20, RateMin: 10, RateMax: 6000}
+	factory := NewController(model.Balanced, model.QIdentity, 30, 5, &spec, false, "")
+	ctrl := factory(m)
+	if ctrl.Name() != "FastMPC" {
+		t.Errorf("Name = %q", ctrl.Name())
+	}
+	// Plentiful bandwidth and buffer → top level; starvation → bottom.
+	high := ctrl.Decide(abr.State{Chunk: 10, Buffer: 29, Prev: 4, Forecast: []float64{5500}})
+	if high.Level != 4 {
+		t.Errorf("rich state level = %d, want 4", high.Level)
+	}
+	low := ctrl.Decide(abr.State{Chunk: 10, Buffer: 0.5, Prev: 0, Forecast: []float64{50}})
+	if low.Level != 0 {
+		t.Errorf("poor state level = %d, want 0", low.Level)
+	}
+
+	// The factory caches the table per manifest.
+	if factory(m).(*Controller).Table != ctrl.(*Controller).Table {
+		t.Error("table not shared across sessions for the same manifest")
+	}
+
+	robust := NewController(model.Balanced, model.QIdentity, 30, 5, &spec, true, "")(m)
+	if robust.Name() != "RobustFastMPC" {
+		t.Errorf("Name = %q", robust.Name())
+	}
+	s := abr.State{Chunk: 10, Buffer: 8, Prev: 2, Forecast: []float64{5000}, Lower: []float64{100}}
+	if r, g := robust.Decide(s).Level, ctrl.Decide(s).Level; r > g {
+		t.Errorf("robust level %d above regular %d", r, g)
+	}
+}
+
+func TestBuildRejectsBadSpec(t *testing.T) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(opt, BinSpec{}); err == nil {
+		t.Error("empty spec should fail")
+	}
+}

@@ -1,0 +1,139 @@
+package fastmpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The enumerated table is highly structured — neighbouring states share the
+// same optimal decision — so a run-length encoding compresses it well
+// (Sec 5.2). Runs are stored as (start offset, value) pairs and queried by
+// binary search over the starts, exactly the paper's online lookup.
+
+// CompressedTable is the run-length encoded decision table.
+type CompressedTable struct {
+	Spec   BinSpec
+	Levels int
+	Length int      // number of logical entries
+	Starts []uint32 // first flat index of each run, ascending
+	Values []uint8  // decision for each run
+}
+
+// Compress run-length encodes a table.
+func Compress(t *Table) *CompressedTable {
+	c := &CompressedTable{Spec: t.Spec, Levels: t.Levels, Length: len(t.Entries)}
+	for i, v := range t.Entries {
+		if i == 0 || v != t.Entries[i-1] {
+			c.Starts = append(c.Starts, uint32(i))
+			c.Values = append(c.Values, v)
+		}
+	}
+	return c
+}
+
+// Decompress expands back to the flat table; the inverse of Compress.
+func (c *CompressedTable) Decompress() *Table {
+	t := &Table{Spec: c.Spec, Levels: c.Levels, Entries: make([]uint8, c.Length)}
+	for r := range c.Starts {
+		end := c.Length
+		if r+1 < len(c.Starts) {
+			end = int(c.Starts[r+1])
+		}
+		for i := int(c.Starts[r]); i < end; i++ {
+			t.Entries[i] = c.Values[r]
+		}
+	}
+	return t
+}
+
+// Runs returns the number of runs in the encoding.
+func (c *CompressedTable) Runs() int { return len(c.Starts) }
+
+// at returns the value at flat index i via binary search over run starts.
+func (c *CompressedTable) at(i int) uint8 {
+	// First run with Starts > i, minus one, is the run containing i.
+	r := sort.Search(len(c.Starts), func(j int) bool { return int(c.Starts[j]) > i })
+	return c.Values[r-1] // Starts[0] == 0, so r ≥ 1 always
+}
+
+// Lookup returns the stored optimal level for the given player state,
+// without decompressing.
+func (c *CompressedTable) Lookup(buffer float64, prev int, predictedKbps float64) int {
+	if prev < 0 {
+		prev = 0
+	}
+	if prev >= c.Levels {
+		prev = c.Levels - 1
+	}
+	i := (c.Spec.BufferBin(buffer)*c.Levels+prev)*c.Spec.RateBins + c.Spec.RateBin(predictedKbps)
+	return int(c.at(i))
+}
+
+// SizeBytes returns the serialized size: 5 bytes per run (uint32 start +
+// uint8 value) plus the 28-byte header.
+func (c *CompressedTable) SizeBytes() int { return 28 + 5*len(c.Starts) }
+
+// Serialize writes the compressed table.
+func (c *CompressedTable) Serialize() []byte {
+	buf := make([]byte, 28, c.SizeBytes())
+	binary.LittleEndian.PutUint32(buf[0:], uint32(c.Spec.BufferBins))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(c.Spec.RateBins))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(c.Levels))
+	binary.LittleEndian.PutUint32(buf[12:], float32bits(c.Spec.BufferMax))
+	binary.LittleEndian.PutUint32(buf[16:], float32bits(c.Spec.RateMin))
+	binary.LittleEndian.PutUint32(buf[20:], float32bits(c.Spec.RateMax))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(c.Starts)))
+	var entry [5]byte
+	for r := range c.Starts {
+		binary.LittleEndian.PutUint32(entry[0:], c.Starts[r])
+		entry[4] = c.Values[r]
+		buf = append(buf, entry[:]...)
+	}
+	return buf
+}
+
+// DeserializeCompressed reconstructs a compressed table.
+func DeserializeCompressed(data []byte) (*CompressedTable, error) {
+	if len(data) < 28 {
+		return nil, fmt.Errorf("fastmpc: compressed blob too short (%d bytes)", len(data))
+	}
+	c := &CompressedTable{}
+	c.Spec.BufferBins = int(binary.LittleEndian.Uint32(data[0:]))
+	c.Spec.RateBins = int(binary.LittleEndian.Uint32(data[4:]))
+	c.Levels = int(binary.LittleEndian.Uint32(data[8:]))
+	c.Spec.BufferMax = float64frombits(binary.LittleEndian.Uint32(data[12:]))
+	c.Spec.RateMin = float64frombits(binary.LittleEndian.Uint32(data[16:]))
+	c.Spec.RateMax = float64frombits(binary.LittleEndian.Uint32(data[20:]))
+	runs := int(binary.LittleEndian.Uint32(data[24:]))
+	if c.Spec.BufferBins <= 0 || c.Levels <= 0 || c.Spec.RateBins <= 0 {
+		return nil, fmt.Errorf("fastmpc: compressed blob has invalid dimensions")
+	}
+	if len(data)-28 != 5*runs || runs == 0 {
+		return nil, fmt.Errorf("fastmpc: compressed blob has %d payload bytes, header implies %d runs", len(data)-28, runs)
+	}
+	c.Length = c.Spec.BufferBins * c.Levels * c.Spec.RateBins
+	c.Starts = make([]uint32, runs)
+	c.Values = make([]uint8, runs)
+	for r := 0; r < runs; r++ {
+		off := 28 + 5*r
+		c.Starts[r] = binary.LittleEndian.Uint32(data[off:])
+		c.Values[r] = data[off+4]
+	}
+	if c.Starts[0] != 0 {
+		return nil, fmt.Errorf("fastmpc: compressed blob first run starts at %d, want 0", c.Starts[0])
+	}
+	for r := 1; r < runs; r++ {
+		if c.Starts[r] <= c.Starts[r-1] {
+			return nil, fmt.Errorf("fastmpc: compressed blob run starts not ascending at run %d", r)
+		}
+	}
+	if int(c.Starts[runs-1]) >= c.Length {
+		return nil, fmt.Errorf("fastmpc: compressed blob last run starts beyond table length")
+	}
+	return c, nil
+}
+
+func float32bits(f float64) uint32     { return math.Float32bits(float32(f)) }
+func float64frombits(b uint32) float64 { return float64(math.Float32frombits(b)) }

@@ -1,0 +1,199 @@
+// Package fastmpc implements the table-enumeration approximation of MPC
+// (Sec 5): the state space (buffer level × previous bitrate × predicted
+// throughput) is binned, every bin is solved offline with the exact
+// optimizer, and the online controller reduces to a table lookup. The
+// decision table is stored run-length encoded and queried by binary search
+// (Sec 5.2), which is what keeps the player footprint at tens of kilobytes.
+package fastmpc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mpcdash/internal/core"
+)
+
+// BinSpec defines the discretization of the FastMPC state space.
+type BinSpec struct {
+	BufferBins int     // bins over [0, BufferMax] (paper default: 100)
+	BufferMax  float64 // seconds
+	RateBins   int     // bins over [RateMin, RateMax] (paper default: 100)
+	RateMin    float64 // kbps
+	RateMax    float64 // kbps
+}
+
+// DefaultBins returns the paper's 100×100 binning for the given buffer cap
+// and ladder maximum: throughput bins span [10, 2·maxKbps] so predictions
+// above the top rung still resolve distinctly.
+func DefaultBins(bufferMax, maxKbps float64) BinSpec {
+	return BinSpec{
+		BufferBins: 100,
+		BufferMax:  bufferMax,
+		RateBins:   100,
+		RateMin:    10,
+		RateMax:    2 * maxKbps,
+	}
+}
+
+// Validate reports structural errors in the spec.
+func (s BinSpec) Validate() error {
+	if s.BufferBins < 2 || s.RateBins < 2 {
+		return fmt.Errorf("fastmpc: need at least 2 bins per dimension, got %d×%d", s.BufferBins, s.RateBins)
+	}
+	if s.BufferMax <= 0 {
+		return fmt.Errorf("fastmpc: BufferMax must be positive, got %v", s.BufferMax)
+	}
+	if s.RateMin <= 0 || s.RateMax <= s.RateMin {
+		return fmt.Errorf("fastmpc: need 0 < RateMin < RateMax, got [%v, %v]", s.RateMin, s.RateMax)
+	}
+	return nil
+}
+
+// BufferBin quantizes a buffer level to its bin index (clamped).
+func (s BinSpec) BufferBin(buffer float64) int {
+	return clampBin(buffer/s.BufferMax, s.BufferBins)
+}
+
+// BufferValue returns the representative buffer level of a bin (its center).
+func (s BinSpec) BufferValue(bin int) float64 {
+	return (float64(bin) + 0.5) * s.BufferMax / float64(s.BufferBins)
+}
+
+// RateBin quantizes a throughput prediction to its bin index (clamped).
+func (s BinSpec) RateBin(kbps float64) int {
+	return clampBin((kbps-s.RateMin)/(s.RateMax-s.RateMin), s.RateBins)
+}
+
+// RateValue returns the representative throughput of a bin (its center).
+func (s BinSpec) RateValue(bin int) float64 {
+	return s.RateMin + (float64(bin)+0.5)*(s.RateMax-s.RateMin)/float64(s.RateBins)
+}
+
+func clampBin(frac float64, bins int) int {
+	i := int(frac * float64(bins))
+	if i < 0 {
+		return 0
+	}
+	if i >= bins {
+		return bins - 1
+	}
+	return i
+}
+
+// Table is the enumerated decision table. Entries are ladder-level indices
+// laid out bufferBin-major, then previous level, then rate bin.
+type Table struct {
+	Spec    BinSpec
+	Levels  int // ladder size
+	Entries []uint8
+}
+
+// index computes the flat offset of a (bufferBin, prev, rateBin) cell.
+func (t *Table) index(bBin, prev, rBin int) int {
+	return (bBin*t.Levels+prev)*t.Spec.RateBins + rBin
+}
+
+// Lookup returns the stored optimal level for the given player state.
+// prev < 0 (no previous chunk) is treated as the lowest level.
+func (t *Table) Lookup(buffer float64, prev int, predictedKbps float64) int {
+	if prev < 0 {
+		prev = 0
+	}
+	if prev >= t.Levels {
+		prev = t.Levels - 1
+	}
+	return int(t.Entries[t.index(t.Spec.BufferBin(buffer), prev, t.Spec.RateBin(predictedKbps))])
+}
+
+// Build enumerates the state space and solves every bin with the exact
+// optimizer (the offline "CPLEX farm" of Fig 5, parallelized across CPUs).
+// The representative chunk is chunk 0 with the horizon fully inside the
+// video, which for CBR manifests is exact for every steady-state chunk.
+func Build(opt *core.Optimizer, spec BinSpec) (*Table, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	levels := opt.Manifest.Levels()
+	if levels > math.MaxUint8+1 {
+		return nil, fmt.Errorf("fastmpc: ladder has %d levels, table stores at most %d", levels, math.MaxUint8+1)
+	}
+	t := &Table{
+		Spec:    spec,
+		Levels:  levels,
+		Entries: make([]uint8, spec.BufferBins*levels*spec.RateBins),
+	}
+	// Parallelize over buffer bins; each worker owns disjoint table rows.
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	rows := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			forecast := make([]float64, 1)
+			for bBin := range rows {
+				buffer := spec.BufferValue(bBin)
+				for prev := 0; prev < levels; prev++ {
+					for rBin := 0; rBin < spec.RateBins; rBin++ {
+						forecast[0] = spec.RateValue(rBin)
+						lvl, _, _ := opt.Plan(0, buffer, prev, forecast, false)
+						t.Entries[t.index(bBin, prev, rBin)] = uint8(lvl)
+					}
+				}
+			}
+		}()
+	}
+	for bBin := 0; bBin < spec.BufferBins; bBin++ {
+		rows <- bBin
+	}
+	close(rows)
+	wg.Wait()
+	return t, nil
+}
+
+// FullSizeBytes returns the serialized size of the uncompressed table with
+// the given bytes per entry. The paper's Table 1 counts 2 bytes per entry
+// (the JavaScript literal encoding); our binary form needs 1.
+func (t *Table) FullSizeBytes(bytesPerEntry int) int {
+	return len(t.Entries) * bytesPerEntry
+}
+
+// Serialize writes the uncompressed table: a 6×uint32 header (buffer bins,
+// rate bins, levels, and the three float32 spec scalars bit-cast) followed
+// by the entries.
+func (t *Table) Serialize() []byte {
+	buf := make([]byte, 0, 24+len(t.Entries))
+	var hdr [24]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.Spec.BufferBins))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Spec.RateBins))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.Levels))
+	binary.LittleEndian.PutUint32(hdr[12:], math.Float32bits(float32(t.Spec.BufferMax)))
+	binary.LittleEndian.PutUint32(hdr[16:], math.Float32bits(float32(t.Spec.RateMin)))
+	binary.LittleEndian.PutUint32(hdr[20:], math.Float32bits(float32(t.Spec.RateMax)))
+	buf = append(buf, hdr[:]...)
+	buf = append(buf, t.Entries...)
+	return buf
+}
+
+// Deserialize reconstructs a table from Serialize output.
+func Deserialize(data []byte) (*Table, error) {
+	if len(data) < 24 {
+		return nil, fmt.Errorf("fastmpc: table blob too short (%d bytes)", len(data))
+	}
+	t := &Table{}
+	t.Spec.BufferBins = int(binary.LittleEndian.Uint32(data[0:]))
+	t.Spec.RateBins = int(binary.LittleEndian.Uint32(data[4:]))
+	t.Levels = int(binary.LittleEndian.Uint32(data[8:]))
+	t.Spec.BufferMax = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[12:])))
+	t.Spec.RateMin = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[16:])))
+	t.Spec.RateMax = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[20:])))
+	want := t.Spec.BufferBins * t.Levels * t.Spec.RateBins
+	if t.Spec.BufferBins <= 0 || t.Levels <= 0 || t.Spec.RateBins <= 0 || len(data)-24 != want {
+		return nil, fmt.Errorf("fastmpc: table blob has %d entries, header implies %d", len(data)-24, want)
+	}
+	t.Entries = append([]uint8(nil), data[24:]...)
+	return t, nil
+}

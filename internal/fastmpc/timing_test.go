@@ -1,0 +1,25 @@
+package fastmpc
+
+import (
+	"testing"
+	"time"
+
+	"mpcdash/internal/core"
+	"mpcdash/internal/model"
+)
+
+func TestBuildTiming(t *testing.T) {
+	m := model.EnvivioManifest()
+	opt, err := core.NewOptimizer(m, model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	table, err := Build(opt, DefaultBins(30, m.Ladder.Max()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := Compress(table)
+	t.Logf("build 100x5x100: %.3fs, %d entries, %d runs, rle %d bytes",
+		time.Since(start).Seconds(), len(table.Entries), c.Runs(), c.SizeBytes())
+}

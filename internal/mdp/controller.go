@@ -1,0 +1,78 @@
+package mdp
+
+import (
+	"mpcdash/internal/abr"
+	"mpcdash/internal/model"
+)
+
+// Controller adapts bitrate with a value-iteration policy. It starts from a
+// prior chain (e.g. fitted offline to the dataset family) and re-solves the
+// policy every RefitEvery chunks from the session's own observations, the
+// online-learning variant sketched in Sec 8.
+type Controller struct {
+	Manifest  *model.Manifest
+	Weights   model.Weights
+	Quality   model.QualityFunc
+	BufferMax float64
+
+	// ChainStates and RefitEvery configure the online chain learning;
+	// RefitEvery = 0 disables refitting (pure prior policy).
+	ChainStates int
+	RefitEvery  int
+
+	policy *Policy
+	obs    []float64
+	since  int
+}
+
+// NewController returns a Factory for the MDP controller with the given
+// prior chain (nil lets the first refit establish the model; until then it
+// behaves rate-based).
+func NewController(w model.Weights, q model.QualityFunc, bufferMax float64, prior *ThroughputChain, chainStates, refitEvery int) abr.Factory {
+	return func(m *model.Manifest) abr.Controller {
+		c := &Controller{
+			Manifest:    m,
+			Weights:     w,
+			Quality:     q,
+			BufferMax:   bufferMax,
+			ChainStates: chainStates,
+			RefitEvery:  refitEvery,
+		}
+		if prior != nil {
+			// Solve eagerly so the first chunks already follow the prior.
+			if p, err := Solve(m, w, q, prior, bufferMax, 60, 0.9, 200); err == nil {
+				c.policy = p
+			}
+		}
+		return c
+	}
+}
+
+// Name implements abr.Controller.
+func (c *Controller) Name() string { return "MDP" }
+
+// Decide implements abr.Controller.
+func (c *Controller) Decide(s abr.State) abr.Decision {
+	rate := s.PredictedRate()
+	if rate > 0 {
+		c.obs = append(c.obs, rate)
+	}
+	c.since++
+	if c.RefitEvery > 0 && c.since >= c.RefitEvery && len(c.obs) >= 2*c.ChainStates {
+		if chain, err := LearnChain(c.obs, c.ChainStates); err == nil {
+			if p, err := Solve(c.Manifest, c.Weights, c.Quality, chain, c.BufferMax, 60, 0.9, 200); err == nil {
+				c.policy = p
+				c.since = 0
+			}
+		}
+	}
+	if c.policy == nil || rate <= 0 {
+		// No model yet: fall back to the rate-based rule.
+		lvl := 0
+		if rate > 0 {
+			lvl = c.Manifest.Ladder.HighestBelow(rate)
+		}
+		return abr.Decision{Level: lvl}
+	}
+	return abr.Decision{Level: c.policy.Action(s.Buffer, rate, s.Prev)}
+}

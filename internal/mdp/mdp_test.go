@@ -1,0 +1,219 @@
+package mdp
+
+import (
+	"math"
+	"testing"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/model"
+	"mpcdash/internal/predictor"
+	"mpcdash/internal/sim"
+	"mpcdash/internal/trace"
+)
+
+// twoState is a simple good/bad channel.
+func twoState() *ThroughputChain {
+	return &ThroughputChain{
+		Rates: []float64{400, 3000},
+		Transition: [][]float64{
+			{0.8, 0.2},
+			{0.2, 0.8},
+		},
+	}
+}
+
+func TestChainValidate(t *testing.T) {
+	if err := twoState().Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	bad := []*ThroughputChain{
+		{},
+		{Rates: []float64{100}, Transition: [][]float64{{1}, {1}}},
+		{Rates: []float64{100, 50}, Transition: [][]float64{{1, 0}, {0, 1}}},
+		{Rates: []float64{-1, 50}, Transition: [][]float64{{1, 0}, {0, 1}}},
+		{Rates: []float64{100, 200}, Transition: [][]float64{{0.5, 0.4}, {0, 1}}},
+		{Rates: []float64{100, 200}, Transition: [][]float64{{1.5, -0.5}, {0, 1}}},
+		{Rates: []float64{100, 200}, Transition: [][]float64{{1, 0, 0}, {0, 1, 0}}},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad chain %d accepted", i)
+		}
+	}
+}
+
+func TestStateOf(t *testing.T) {
+	c := twoState()
+	cases := []struct {
+		kbps float64
+		want int
+	}{{100, 0}, {400, 0}, {1600, 0}, {1800, 1}, {3000, 1}, {9000, 1}}
+	for _, cse := range cases {
+		if got := c.StateOf(cse.kbps); got != cse.want {
+			t.Errorf("StateOf(%v) = %d, want %d", cse.kbps, got, cse.want)
+		}
+	}
+}
+
+func TestLearnChain(t *testing.T) {
+	// Alternating high/low series should learn strong cross transitions.
+	var obs []float64
+	for i := 0; i < 200; i++ {
+		if i%2 == 0 {
+			obs = append(obs, 500)
+		} else {
+			obs = append(obs, 2500)
+		}
+	}
+	chain, err := LearnChain(obs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := chain.StateOf(500)
+	hi := chain.StateOf(2500)
+	if lo == hi {
+		t.Fatalf("states collapsed: %d == %d", lo, hi)
+	}
+	if chain.Transition[lo][hi] < 0.9 || chain.Transition[hi][lo] < 0.9 {
+		t.Errorf("alternation not learned: %v", chain.Transition)
+	}
+
+	// Sticky series → diagonal-dominant transitions.
+	obs = obs[:0]
+	for i := 0; i < 100; i++ {
+		obs = append(obs, 500)
+	}
+	for i := 0; i < 100; i++ {
+		obs = append(obs, 2500)
+	}
+	chain, err = LearnChain(obs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi = chain.StateOf(500), chain.StateOf(2500)
+	if chain.Transition[lo][lo] < 0.9 || chain.Transition[hi][hi] < 0.9 {
+		t.Errorf("stickiness not learned: %v", chain.Transition)
+	}
+}
+
+func TestLearnChainErrors(t *testing.T) {
+	if _, err := LearnChain([]float64{1, 2, 3}, 1); err == nil {
+		t.Error("one state should fail")
+	}
+	if _, err := LearnChain([]float64{1}, 2); err == nil {
+		t.Error("one observation should fail")
+	}
+	if _, err := LearnChain([]float64{1, -2}, 2); err == nil {
+		t.Error("negative observation should fail")
+	}
+	// Constant series must not degenerate.
+	chain, err := LearnChain([]float64{1000, 1000, 1000}, 2)
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if err := chain.Validate(); err != nil {
+		t.Fatalf("constant-series chain invalid: %v", err)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	m := model.EnvivioManifest()
+	if _, err := Solve(m, model.Balanced, model.QIdentity, &ThroughputChain{}, 30, 60, 0.9, 100); err == nil {
+		t.Error("invalid chain should fail")
+	}
+	if _, err := Solve(m, model.Balanced, model.QIdentity, twoState(), 0, 60, 0.9, 100); err == nil {
+		t.Error("zero buffer should fail")
+	}
+	if _, err := Solve(m, model.Balanced, model.QIdentity, twoState(), 30, 1, 0.9, 100); err == nil {
+		t.Error("one buffer bin should fail")
+	}
+	if _, err := Solve(m, model.Balanced, model.QIdentity, twoState(), 30, 60, 1.0, 100); err == nil {
+		t.Error("discount 1 should fail")
+	}
+}
+
+// TestPolicyShape: in the good channel state with a full buffer the policy
+// streams high; in the bad state with an empty buffer it streams low.
+func TestPolicyShape(t *testing.T) {
+	m := model.EnvivioManifest()
+	p, err := Solve(m, model.Balanced, model.QIdentity, twoState(), 30, 60, 0.9, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Action(29, 3000, 4); got < 3 {
+		t.Errorf("rich state action %d, want ≥3", got)
+	}
+	if got := p.Action(0.5, 400, 0); got != 0 {
+		t.Errorf("poor state action %d, want 0", got)
+	}
+	// Out-of-range inputs clamp rather than panic.
+	_ = p.Action(-5, 1e9, -1)
+	_ = p.Action(99, 0.0001, 99)
+}
+
+// TestMDPOnMarkovTrace: on a genuinely Markov channel the MDP controller
+// should be competitive with (or beat) the rate-based rule — the condition
+// under which the paper says MDP control is justified.
+func TestMDPOnMarkovTrace(t *testing.T) {
+	m := model.EnvivioManifest()
+	cfgTrace := trace.DefaultMarkovConfig()
+	qoe := func(factory abr.Factory) float64 {
+		var total float64
+		for seed := int64(0); seed < 5; seed++ {
+			tr, err := trace.GenMarkov(cfgTrace, seed, m.Duration()+120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Run(m, tr, factory(m), predictor.NewHarmonicMean(5), sim.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += res.QoE(model.Balanced, model.QIdentity)
+		}
+		return total / 5
+	}
+	prior := &ThroughputChain{
+		Rates:      cfgTrace.Means,
+		Transition: cfgTrace.Transition,
+	}
+	mdpQoE := qoe(NewController(model.Balanced, model.QIdentity, 30, prior, 4, 0))
+	rbQoE := qoe(abr.NewRB(1))
+	if mdpQoE < rbQoE*0.9-3000 {
+		t.Errorf("MDP (%v) should be competitive with RB (%v) on a Markov channel", mdpQoE, rbQoE)
+	}
+}
+
+func TestControllerFallback(t *testing.T) {
+	m := model.EnvivioManifest()
+	ctrl := NewController(model.Balanced, model.QIdentity, 30, nil, 4, 0)(m)
+	if ctrl.Name() != "MDP" {
+		t.Errorf("Name = %q", ctrl.Name())
+	}
+	// No model and no rate → lowest.
+	if got := ctrl.Decide(abr.State{Chunk: 0, Prev: -1}).Level; got != 0 {
+		t.Errorf("cold decide = %d, want 0", got)
+	}
+	// No model with a rate → rate-based.
+	if got := ctrl.Decide(abr.State{Chunk: 1, Prev: 0, Forecast: []float64{2500}}).Level; got != 3 {
+		t.Errorf("fallback decide = %d, want 3", got)
+	}
+}
+
+func TestControllerOnlineRefit(t *testing.T) {
+	m := model.EnvivioManifest()
+	ctrl := NewController(model.Balanced, model.QIdentity, 30, nil, 3, 10)(m).(*Controller)
+	// Feed enough observations to trigger a refit.
+	for k := 0; k < 30; k++ {
+		rate := 800.0
+		if k%2 == 0 {
+			rate = 2400
+		}
+		ctrl.Decide(abr.State{Chunk: k, Buffer: 15, Prev: 1, Forecast: []float64{rate}})
+	}
+	if ctrl.policy == nil {
+		t.Fatal("online refit never produced a policy")
+	}
+	if math.IsNaN(float64(ctrl.policy.BufferBins)) || ctrl.policy.BufferBins <= 0 {
+		t.Fatal("policy malformed")
+	}
+}

@@ -1,0 +1,89 @@
+// Package model defines the video-streaming model of Yin et al. (SIGCOMM 2015):
+// the bitrate ladder, the video manifest with per-chunk sizes (CBR and VBR),
+// perceived-quality functions q(·), QoE weights, and the QoE metric of Eq. (5).
+//
+// Units used throughout the module: bitrates and throughput in kbps
+// (kilobits per second), chunk sizes in kilobits, and time in seconds.
+// With these units a chunk of duration L seconds encoded at R kbps has size
+// L·R kilobits and downloads in (L·R)/C seconds over a C kbps link.
+package model
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ladder is an ascending set of available bitrate levels in kbps.
+// It corresponds to the set R in the paper.
+type Ladder []float64
+
+// EnvivioLadder is the bitrate ladder of the paper's "Envivio" test video:
+// {350, 600, 1000, 2000, 3000} kbps, matching YouTube's 240p–1080p guidance.
+func EnvivioLadder() Ladder {
+	return Ladder{350, 600, 1000, 2000, 3000}
+}
+
+// UniformLadder returns n bitrate levels spaced uniformly in [lo, hi] kbps.
+// It is used by the bitrate-granularity sensitivity experiment (Sec 7.3).
+func UniformLadder(n int, lo, hi float64) Ladder {
+	if n < 1 {
+		return nil
+	}
+	if n == 1 {
+		return Ladder{lo}
+	}
+	l := make(Ladder, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range l {
+		l[i] = lo + float64(i)*step
+	}
+	return l
+}
+
+// Validate reports an error if the ladder is empty, non-positive or not
+// strictly ascending.
+func (l Ladder) Validate() error {
+	if len(l) == 0 {
+		return fmt.Errorf("model: empty bitrate ladder")
+	}
+	for i, r := range l {
+		if r <= 0 {
+			return fmt.Errorf("model: non-positive bitrate %v at level %d", r, i)
+		}
+		if i > 0 && r <= l[i-1] {
+			return fmt.Errorf("model: ladder not strictly ascending at level %d (%v after %v)", i, r, l[i-1])
+		}
+	}
+	return nil
+}
+
+// Min returns the lowest bitrate in kbps.
+func (l Ladder) Min() float64 { return l[0] }
+
+// Max returns the highest bitrate in kbps.
+func (l Ladder) Max() float64 { return l[len(l)-1] }
+
+// HighestBelow returns the index of the highest level not exceeding kbps,
+// or 0 if every level exceeds it. This is the canonical rate-based rule.
+func (l Ladder) HighestBelow(kbps float64) int {
+	// sort.SearchFloat64s returns the first index with l[i] >= kbps.
+	i := sort.SearchFloat64s(l, kbps)
+	if i < len(l) && l[i] == kbps {
+		return i
+	}
+	if i == 0 {
+		return 0
+	}
+	return i - 1
+}
+
+// Clamp restricts idx to a valid level index.
+func (l Ladder) Clamp(idx int) int {
+	if idx < 0 {
+		return 0
+	}
+	if idx >= len(l) {
+		return len(l) - 1
+	}
+	return idx
+}

@@ -1,0 +1,107 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLadderValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		l       Ladder
+		wantErr bool
+	}{
+		{"empty", Ladder{}, true},
+		{"negative", Ladder{-1, 100}, true},
+		{"zero", Ladder{0, 100}, true},
+		{"descending", Ladder{200, 100}, true},
+		{"duplicate", Ladder{100, 100}, true},
+		{"single", Ladder{100}, false},
+		{"envivio", EnvivioLadder(), false},
+	}
+	for _, c := range cases {
+		if err := c.l.Validate(); (err != nil) != c.wantErr {
+			t.Errorf("%s: err=%v wantErr=%v", c.name, err, c.wantErr)
+		}
+	}
+}
+
+func TestHighestBelow(t *testing.T) {
+	l := EnvivioLadder() // 350 600 1000 2000 3000
+	cases := []struct {
+		kbps float64
+		want int
+	}{
+		{0, 0}, {349, 0}, {350, 0}, {599, 0},
+		{600, 1}, {999, 1},
+		{1000, 2}, {1999, 2},
+		{2000, 3}, {2999, 3},
+		{3000, 4}, {99999, 4},
+	}
+	for _, c := range cases {
+		if got := l.HighestBelow(c.kbps); got != c.want {
+			t.Errorf("HighestBelow(%v) = %d, want %d", c.kbps, got, c.want)
+		}
+	}
+}
+
+// TestHighestBelowProperty: result is the greatest index whose rate fits.
+func TestHighestBelowProperty(t *testing.T) {
+	l := EnvivioLadder()
+	f := func(kbps float64) bool {
+		kbps = math.Abs(kbps)
+		i := l.HighestBelow(kbps)
+		if i < 0 || i >= len(l) {
+			return false
+		}
+		if l[i] > kbps && i != 0 {
+			return false
+		}
+		if i+1 < len(l) && l[i+1] <= kbps {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	l := EnvivioLadder()
+	for _, c := range []struct{ in, want int }{{-5, 0}, {0, 0}, {4, 4}, {7, 4}} {
+		if got := l.Clamp(c.in); got != c.want {
+			t.Errorf("Clamp(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestUniformLadder(t *testing.T) {
+	l := UniformLadder(5, 100, 500)
+	want := Ladder{100, 200, 300, 400, 500}
+	if len(l) != len(want) {
+		t.Fatalf("len = %d, want %d", len(l), len(want))
+	}
+	for i := range want {
+		if math.Abs(l[i]-want[i]) > 1e-9 {
+			t.Errorf("level %d = %v, want %v", i, l[i], want[i])
+		}
+	}
+	if err := l.Validate(); err != nil {
+		t.Errorf("uniform ladder invalid: %v", err)
+	}
+	if got := UniformLadder(1, 100, 500); len(got) != 1 || got[0] != 100 {
+		t.Errorf("UniformLadder(1) = %v", got)
+	}
+	if got := UniformLadder(0, 100, 500); got != nil {
+		t.Errorf("UniformLadder(0) = %v, want nil", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	l := EnvivioLadder()
+	if l.Min() != 350 || l.Max() != 3000 {
+		t.Errorf("Min/Max = %v/%v, want 350/3000", l.Min(), l.Max())
+	}
+}

@@ -1,0 +1,105 @@
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Manifest describes one video: K chunks of L seconds each, encoded at every
+// level of the ladder. Chunk sizes are in kilobits. For CBR encodings the
+// size of chunk k at level i is L·R_i; for VBR the per-chunk multiplier
+// varies around 1, as real encoders produce.
+type Manifest struct {
+	Ladder        Ladder
+	ChunkCount    int
+	ChunkDuration float64 // L, seconds
+
+	// vbr holds a per-chunk size multiplier; nil means CBR (all 1.0).
+	vbr []float64
+}
+
+// NewCBRManifest builds a constant-bitrate manifest.
+func NewCBRManifest(ladder Ladder, chunks int, chunkDur float64) (*Manifest, error) {
+	if err := ladder.Validate(); err != nil {
+		return nil, err
+	}
+	if chunks <= 0 {
+		return nil, fmt.Errorf("model: chunk count must be positive, got %d", chunks)
+	}
+	if chunkDur <= 0 {
+		return nil, fmt.Errorf("model: chunk duration must be positive, got %v", chunkDur)
+	}
+	return &Manifest{Ladder: ladder, ChunkCount: chunks, ChunkDuration: chunkDur}, nil
+}
+
+// NewVBRManifest builds a variable-bitrate manifest whose per-chunk sizes
+// fluctuate log-normally around the nominal L·R with the given coefficient
+// of variation (e.g. 0.3 for typical movie content). The multipliers are
+// deterministic for a given seed and are shared across levels, as chunk
+// streams are aligned in DASH.
+func NewVBRManifest(ladder Ladder, chunks int, chunkDur, cv float64, seed int64) (*Manifest, error) {
+	m, err := NewCBRManifest(ladder, chunks, chunkDur)
+	if err != nil {
+		return nil, err
+	}
+	if cv < 0 {
+		return nil, fmt.Errorf("model: negative coefficient of variation %v", cv)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Log-normal with E[X]=1: mu = -sigma^2/2 where sigma^2 = ln(1+cv^2).
+	sigma2 := math.Log(1 + cv*cv)
+	sigma := math.Sqrt(sigma2)
+	mu := -sigma2 / 2
+	m.vbr = make([]float64, chunks)
+	for k := range m.vbr {
+		m.vbr[k] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return m, nil
+}
+
+// EnvivioManifest is the paper's default test video: 65 chunks × 4 s = 260 s,
+// CBR at the Envivio ladder.
+func EnvivioManifest() *Manifest {
+	m, err := NewCBRManifest(EnvivioLadder(), 65, 4)
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return m
+}
+
+// Duration returns the total play time of the video in seconds.
+func (m *Manifest) Duration() float64 {
+	return float64(m.ChunkCount) * m.ChunkDuration
+}
+
+// Levels returns the number of bitrate levels.
+func (m *Manifest) Levels() int { return len(m.Ladder) }
+
+// IsVBR reports whether per-chunk sizes vary.
+func (m *Manifest) IsVBR() bool { return m.vbr != nil }
+
+// ChunkSize returns d_k(R_i), the size in kilobits of chunk k (0-based)
+// encoded at ladder level i. It panics on out-of-range arguments, which
+// always indicates a controller bug.
+func (m *Manifest) ChunkSize(k, level int) float64 {
+	if k < 0 || k >= m.ChunkCount {
+		panic(fmt.Sprintf("model: chunk index %d out of range [0,%d)", k, m.ChunkCount))
+	}
+	if level < 0 || level >= len(m.Ladder) {
+		panic(fmt.Sprintf("model: level %d out of range [0,%d)", level, len(m.Ladder)))
+	}
+	size := m.ChunkDuration * m.Ladder[level]
+	if m.vbr != nil {
+		size *= m.vbr[k]
+	}
+	return size
+}
+
+// SizeMultiplier returns the VBR multiplier of chunk k (1.0 for CBR).
+func (m *Manifest) SizeMultiplier(k int) float64 {
+	if m.vbr == nil {
+		return 1
+	}
+	return m.vbr[k]
+}

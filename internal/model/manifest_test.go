@@ -1,0 +1,95 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewCBRManifestValidation(t *testing.T) {
+	if _, err := NewCBRManifest(Ladder{}, 10, 4); err == nil {
+		t.Error("expected error for empty ladder")
+	}
+	if _, err := NewCBRManifest(EnvivioLadder(), 0, 4); err == nil {
+		t.Error("expected error for zero chunks")
+	}
+	if _, err := NewCBRManifest(EnvivioLadder(), 10, 0); err == nil {
+		t.Error("expected error for zero duration")
+	}
+}
+
+func TestEnvivioManifest(t *testing.T) {
+	m := EnvivioManifest()
+	if m.ChunkCount != 65 || m.ChunkDuration != 4 {
+		t.Fatalf("got %d chunks × %vs", m.ChunkCount, m.ChunkDuration)
+	}
+	if m.Duration() != 260 {
+		t.Errorf("Duration = %v, want 260", m.Duration())
+	}
+	if m.Levels() != 5 {
+		t.Errorf("Levels = %d, want 5", m.Levels())
+	}
+	if m.IsVBR() {
+		t.Error("Envivio manifest should be CBR")
+	}
+	// CBR chunk size: d = L·R.
+	if got := m.ChunkSize(0, 0); got != 4*350 {
+		t.Errorf("ChunkSize(0,0) = %v, want 1400", got)
+	}
+	if got := m.ChunkSize(64, 4); got != 4*3000 {
+		t.Errorf("ChunkSize(64,4) = %v, want 12000", got)
+	}
+	if m.SizeMultiplier(3) != 1 {
+		t.Errorf("CBR multiplier = %v, want 1", m.SizeMultiplier(3))
+	}
+}
+
+func TestChunkSizePanics(t *testing.T) {
+	m := EnvivioManifest()
+	for _, c := range []struct{ k, lvl int }{{-1, 0}, {65, 0}, {0, -1}, {0, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ChunkSize(%d,%d) should panic", c.k, c.lvl)
+				}
+			}()
+			m.ChunkSize(c.k, c.lvl)
+		}()
+	}
+}
+
+func TestVBRManifest(t *testing.T) {
+	m, err := NewVBRManifest(EnvivioLadder(), 200, 4, 0.3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.IsVBR() {
+		t.Fatal("expected VBR")
+	}
+	// Multipliers should be shared across levels (aligned streams).
+	for k := 0; k < m.ChunkCount; k++ {
+		r0 := m.ChunkSize(k, 0) / (4 * 350)
+		r4 := m.ChunkSize(k, 4) / (4 * 3000)
+		if math.Abs(r0-r4) > 1e-12 {
+			t.Fatalf("chunk %d multipliers differ across levels: %v vs %v", k, r0, r4)
+		}
+	}
+	// Log-normal with E[X]=1: the empirical mean should be near 1.
+	var mean float64
+	for k := 0; k < m.ChunkCount; k++ {
+		mean += m.SizeMultiplier(k)
+	}
+	mean /= float64(m.ChunkCount)
+	if mean < 0.85 || mean > 1.15 {
+		t.Errorf("VBR multiplier mean = %v, want ≈1", mean)
+	}
+	// Determinism.
+	m2, _ := NewVBRManifest(EnvivioLadder(), 200, 4, 0.3, 42)
+	for k := 0; k < m.ChunkCount; k++ {
+		if m.SizeMultiplier(k) != m2.SizeMultiplier(k) {
+			t.Fatalf("chunk %d multiplier not deterministic", k)
+		}
+	}
+	if _, err := NewVBRManifest(EnvivioLadder(), 10, 4, -0.1, 1); err == nil {
+		t.Error("expected error for negative cv")
+	}
+}

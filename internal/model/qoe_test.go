@@ -1,0 +1,172 @@
+package model
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// session builds a SessionResult from level choices and rebuffer seconds.
+func session(m *Manifest, levels []int, rebuffers []float64, startup float64) *SessionResult {
+	r := &SessionResult{Algorithm: "test", StartupDelay: startup}
+	for i, lvl := range levels {
+		rec := ChunkRecord{
+			Index:   i,
+			Level:   lvl,
+			Bitrate: m.Ladder[lvl],
+		}
+		if i < len(rebuffers) {
+			rec.Rebuffer = rebuffers[i]
+		}
+		r.Chunks = append(r.Chunks, rec)
+	}
+	return r
+}
+
+func TestQoEHandComputed(t *testing.T) {
+	m := EnvivioManifest()
+	// Levels 350, 600, 600; one 2-second rebuffer; 1.5 s startup.
+	r := session(m, []int{0, 1, 1}, []float64{0, 2, 0}, 1.5)
+	w := Balanced // λ=1 µ=µs=3000
+	want := (350 + 600 + 600) - 1*(250+0) - 3000*2 - 3000*1.5
+	if got := r.QoE(w, QIdentity); math.Abs(got-want) > 1e-9 {
+		t.Errorf("QoE = %v, want %v", got, want)
+	}
+}
+
+func TestQoEWeightSensitivity(t *testing.T) {
+	m := EnvivioManifest()
+	r := session(m, []int{4, 0, 4}, []float64{0, 1, 0}, 0)
+	base := r.QoE(Balanced, QIdentity)
+	instab := r.QoE(AvoidInstability, QIdentity)
+	rebuf := r.QoE(AvoidRebuffering, QIdentity)
+	if instab >= base {
+		t.Errorf("AvoidInstability should penalize this switchy session more: %v vs %v", instab, base)
+	}
+	if rebuf >= base {
+		t.Errorf("AvoidRebuffering should penalize this stalling session more: %v vs %v", rebuf, base)
+	}
+}
+
+func TestComputeMetrics(t *testing.T) {
+	m := EnvivioManifest()
+	r := session(m, []int{0, 2, 2, 4}, []float64{1, 0, 0.5, 0}, 2)
+	got := r.ComputeMetrics(QIdentity)
+	if want := (350 + 1000 + 1000 + 3000) / 4.0; math.Abs(got.AvgBitrate-want) > 1e-9 {
+		t.Errorf("AvgBitrate = %v, want %v", got.AvgBitrate, want)
+	}
+	if want := (650 + 0 + 2000) / 3.0; math.Abs(got.AvgBitrateChange-want) > 1e-9 {
+		t.Errorf("AvgBitrateChange = %v, want %v", got.AvgBitrateChange, want)
+	}
+	if got.Switches != 2 {
+		t.Errorf("Switches = %d, want 2", got.Switches)
+	}
+	if math.Abs(got.RebufferTime-1.5) > 1e-9 {
+		t.Errorf("RebufferTime = %v, want 1.5", got.RebufferTime)
+	}
+	if got.RebufferEvents != 2 {
+		t.Errorf("RebufferEvents = %d, want 2", got.RebufferEvents)
+	}
+	if got.StartupDelay != 2 {
+		t.Errorf("StartupDelay = %v, want 2", got.StartupDelay)
+	}
+}
+
+func TestComputeMetricsEmpty(t *testing.T) {
+	r := &SessionResult{}
+	got := r.ComputeMetrics(QIdentity)
+	if got.AvgBitrate != 0 || got.Switches != 0 {
+		t.Errorf("empty session metrics = %+v", got)
+	}
+}
+
+// TestQoETermsMatchesSession: the incremental scorer used by the optimizers
+// agrees with the session-level evaluation.
+func TestQoETermsMatchesSession(t *testing.T) {
+	m := EnvivioManifest()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		levels := make([]int, n)
+		rebufs := make([]float64, n)
+		bitrates := make([]float64, n)
+		for i := range levels {
+			levels[i] = rng.Intn(m.Levels())
+			rebufs[i] = rng.Float64() * 3
+			bitrates[i] = m.Ladder[levels[i]]
+		}
+		startup := rng.Float64() * 5
+		r := session(m, levels, rebufs, startup)
+		w := Balanced
+		a := r.QoE(w, QIdentity)
+		b := QoETerms(w, QIdentity, bitrates, rebufs, 0, false, startup)
+		return math.Abs(a-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQualityFuncs(t *testing.T) {
+	if QIdentity(1234) != 1234 {
+		t.Error("QIdentity not identity")
+	}
+	qlog := QLog(350)
+	if qlog(350) != 0 {
+		t.Errorf("QLog(350)(350) = %v, want 0", qlog(350))
+	}
+	if qlog(3000) <= qlog(1000) {
+		t.Error("QLog not increasing")
+	}
+	if qlog(0) != 0 || qlog(-5) != 0 {
+		t.Error("QLog should clamp non-positive input to 0")
+	}
+	qhd := QHD(3000)
+	if math.Abs(qhd(3000)-3000) > 1e-6 {
+		t.Errorf("QHD(3000)(3000) = %v, want 3000", qhd(3000))
+	}
+	if qhd(3000)-qhd(2000) <= qhd(1350)-qhd(350) {
+		t.Error("QHD should emphasize the top of the ladder")
+	}
+	if qhd(0) != 0 {
+		t.Error("QHD should clamp non-positive input to 0")
+	}
+}
+
+// TestQoEMonotoneInRebuffer: adding stall time never helps.
+func TestQoEMonotoneInRebuffer(t *testing.T) {
+	m := EnvivioManifest()
+	f := func(extra float64) bool {
+		extra = math.Abs(extra)
+		if math.IsNaN(extra) || math.IsInf(extra, 0) {
+			return true
+		}
+		a := session(m, []int{2, 2}, []float64{0, 0}, 0).QoE(Balanced, QIdentity)
+		b := session(m, []int{2, 2}, []float64{0, extra}, 0).QoE(Balanced, QIdentity)
+		return b <= a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQoEEventCount(t *testing.T) {
+	m := EnvivioManifest()
+	// Two stalls of different lengths: the event-count variant charges them
+	// equally, the duration variant does not.
+	short := session(m, []int{2, 2, 2}, []float64{0, 0.1, 0}, 0)
+	long := session(m, []int{2, 2, 2}, []float64{0, 9, 0}, 0)
+	const perEvent = 2000
+	if a, b := short.QoEEventCount(Balanced, QIdentity, perEvent), long.QoEEventCount(Balanced, QIdentity, perEvent); a != b {
+		t.Errorf("event-count QoE should not depend on stall length: %v vs %v", a, b)
+	}
+	if a, b := short.QoE(Balanced, QIdentity), long.QoE(Balanced, QIdentity); a <= b {
+		t.Errorf("duration QoE must punish the longer stall: %v vs %v", a, b)
+	}
+	// Hand-computed: 3×1000 − 1 event×2000 − 0 startup.
+	want := 3000.0 - perEvent
+	if got := short.QoEEventCount(Balanced, QIdentity, perEvent); math.Abs(got-want) > 1e-9 {
+		t.Errorf("QoEEventCount = %v, want %v", got, want)
+	}
+}

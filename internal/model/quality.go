@@ -1,0 +1,33 @@
+package model
+
+import "math"
+
+// QualityFunc maps a bitrate in kbps to the perceived quality q(R). The paper
+// requires only that it be non-decreasing; the evaluation uses the identity.
+type QualityFunc func(kbps float64) float64
+
+// QIdentity is q(R) = R, the paper's default.
+func QIdentity(kbps float64) float64 { return kbps }
+
+// QLog is a logarithmic quality function, q(R) = ln(R/Rmin) scaled to kbps
+// magnitude so QoE weights remain comparable. It models the diminishing
+// perceptual return of higher bitrates (e.g. on small screens).
+func QLog(rmin float64) QualityFunc {
+	return func(kbps float64) float64 {
+		if kbps <= 0 || rmin <= 0 {
+			return 0
+		}
+		return 1000 * math.Log(kbps/rmin)
+	}
+}
+
+// QHD emphasizes high bitrates, modelling a large display where the jump to
+// the top rungs matters: q(R) = R^1.2 / Rmax^0.2 (normalized so q(Rmax)=Rmax).
+func QHD(rmax float64) QualityFunc {
+	return func(kbps float64) float64 {
+		if kbps <= 0 || rmax <= 0 {
+			return 0
+		}
+		return math.Pow(kbps, 1.2) / math.Pow(rmax, 0.2)
+	}
+}

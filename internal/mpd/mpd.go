@@ -1,0 +1,134 @@
+// Package mpd provides a minimal DASH Media Presentation Description: the
+// XML manifest the HTTP emulation serves and the client parses to discover
+// the bitrate ladder, chunk duration and — crucially for MPC — per-chunk
+// sizes. Sec 6 notes the MPEG-DASH standard does not mandate reporting
+// chunk sizes in the manifest; we expose them through a SegmentSizes
+// extension element, implementing exactly the amendment the paper argues
+// the specification needs.
+package mpd
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"mpcdash/internal/model"
+)
+
+// MPD is the root manifest document (a pragmatic subset of ISO/IEC 23009-1).
+type MPD struct {
+	XMLName              xml.Name `xml:"MPD"`
+	Type                 string   `xml:"type,attr"`
+	MediaPresentationDur string   `xml:"mediaPresentationDuration,attr"`
+	MinBufferTime        string   `xml:"minBufferTime,attr"`
+	Period               Period   `xml:"Period"`
+}
+
+// Period holds the single adaptation set of the test video.
+type Period struct {
+	AdaptationSet AdaptationSet `xml:"AdaptationSet"`
+}
+
+// AdaptationSet groups the representations (bitrate levels).
+type AdaptationSet struct {
+	MimeType        string           `xml:"mimeType,attr"`
+	SegmentDuration float64          `xml:"segmentDurationSeconds,attr"`
+	SegmentCount    int              `xml:"segmentCount,attr"`
+	Representations []Representation `xml:"Representation"`
+}
+
+// Representation is one bitrate level with its media URL template and the
+// per-chunk sizes extension.
+type Representation struct {
+	ID           string `xml:"id,attr"`
+	Bandwidth    int    `xml:"bandwidth,attr"` // bits per second
+	MediaPattern string `xml:"media,attr"`     // e.g. "video/600/$Number$.m4s"
+	SegmentSizes string `xml:"SegmentSizes"`   // space-separated bytes per chunk
+}
+
+// FromManifest renders a model.Manifest as an MPD, with $Number$ media
+// templates rooted at basePath.
+func FromManifest(m *model.Manifest, basePath string) *MPD {
+	doc := &MPD{
+		Type:                 "static",
+		MediaPresentationDur: fmt.Sprintf("PT%.0fS", m.Duration()),
+		MinBufferTime:        fmt.Sprintf("PT%.0fS", m.ChunkDuration),
+		Period: Period{AdaptationSet: AdaptationSet{
+			MimeType:        "video/mp4",
+			SegmentDuration: m.ChunkDuration,
+			SegmentCount:    m.ChunkCount,
+		}},
+	}
+	for lvl, kbps := range m.Ladder {
+		sizes := make([]string, m.ChunkCount)
+		for k := 0; k < m.ChunkCount; k++ {
+			sizes[k] = fmt.Sprintf("%d", ChunkBytes(m, k, lvl))
+		}
+		doc.Period.AdaptationSet.Representations = append(doc.Period.AdaptationSet.Representations, Representation{
+			ID:           fmt.Sprintf("%d", lvl),
+			Bandwidth:    int(kbps * 1000),
+			MediaPattern: fmt.Sprintf("%s/%d/$Number$.m4s", strings.TrimSuffix(basePath, "/"), lvl),
+			SegmentSizes: strings.Join(sizes, " "),
+		})
+	}
+	return doc
+}
+
+// ChunkBytes converts a manifest chunk size (kilobits) to whole bytes as
+// served on the wire.
+func ChunkBytes(m *model.Manifest, chunk, level int) int {
+	return int(m.ChunkSize(chunk, level) * 1000 / 8)
+}
+
+// Encode renders the document as XML.
+func (d *MPD) Encode() ([]byte, error) {
+	out, err := xml.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("mpd: encode: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// Decode parses an MPD document.
+func Decode(data []byte) (*MPD, error) {
+	var d MPD
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("mpd: decode: %w", err)
+	}
+	if len(d.Period.AdaptationSet.Representations) == 0 {
+		return nil, fmt.Errorf("mpd: no representations in manifest")
+	}
+	return &d, nil
+}
+
+// LadderKbps extracts the bitrate ladder in kbps, in document order.
+func (d *MPD) LadderKbps() []float64 {
+	reps := d.Period.AdaptationSet.Representations
+	out := make([]float64, len(reps))
+	for i, r := range reps {
+		out[i] = float64(r.Bandwidth) / 1000
+	}
+	return out
+}
+
+// SegmentBytes parses the per-chunk byte sizes of representation lvl.
+func (d *MPD) SegmentBytes(lvl int) ([]int, error) {
+	reps := d.Period.AdaptationSet.Representations
+	if lvl < 0 || lvl >= len(reps) {
+		return nil, fmt.Errorf("mpd: representation %d out of range [0,%d)", lvl, len(reps))
+	}
+	fields := strings.Fields(reps[lvl].SegmentSizes)
+	if len(fields) != d.Period.AdaptationSet.SegmentCount {
+		return nil, fmt.Errorf("mpd: representation %d lists %d sizes, manifest declares %d segments",
+			lvl, len(fields), d.Period.AdaptationSet.SegmentCount)
+	}
+	out := make([]int, len(fields))
+	for i, f := range fields {
+		var v int
+		if _, err := fmt.Sscanf(f, "%d", &v); err != nil || v <= 0 {
+			return nil, fmt.Errorf("mpd: representation %d segment %d has bad size %q", lvl, i, f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,112 @@
+package mpd
+
+import (
+	"strings"
+	"testing"
+
+	"mpcdash/internal/model"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m := model.EnvivioManifest()
+	doc := FromManifest(m, "/video")
+	data, err := doc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<MPD") {
+		t.Error("missing MPD element")
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := back.Period.AdaptationSet.SegmentCount; got != 65 {
+		t.Errorf("SegmentCount = %d, want 65", got)
+	}
+	if got := back.Period.AdaptationSet.SegmentDuration; got != 4 {
+		t.Errorf("SegmentDuration = %v, want 4", got)
+	}
+	ladder := back.LadderKbps()
+	want := model.EnvivioLadder()
+	if len(ladder) != len(want) {
+		t.Fatalf("ladder size = %d, want %d", len(ladder), len(want))
+	}
+	for i := range want {
+		if ladder[i] != want[i] {
+			t.Errorf("ladder[%d] = %v, want %v", i, ladder[i], want[i])
+		}
+	}
+}
+
+func TestSegmentBytes(t *testing.T) {
+	m := model.EnvivioManifest()
+	doc := FromManifest(m, "/video")
+	for lvl := 0; lvl < m.Levels(); lvl++ {
+		sizes, err := doc.SegmentBytes(lvl)
+		if err != nil {
+			t.Fatalf("level %d: %v", lvl, err)
+		}
+		if len(sizes) != m.ChunkCount {
+			t.Fatalf("level %d: %d sizes", lvl, len(sizes))
+		}
+		for k, b := range sizes {
+			if want := ChunkBytes(m, k, lvl); b != want {
+				t.Errorf("level %d chunk %d: %d bytes, want %d", lvl, k, b, want)
+			}
+		}
+	}
+	if _, err := doc.SegmentBytes(-1); err == nil {
+		t.Error("negative level should fail")
+	}
+	if _, err := doc.SegmentBytes(99); err == nil {
+		t.Error("out-of-range level should fail")
+	}
+}
+
+func TestChunkBytes(t *testing.T) {
+	m := model.EnvivioManifest()
+	// 4 s at 350 kbps = 1400 kbit = 175 000 bytes.
+	if got := ChunkBytes(m, 0, 0); got != 175000 {
+		t.Errorf("ChunkBytes = %d, want 175000", got)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("not xml at all <")); err == nil {
+		t.Error("garbage should fail")
+	}
+	if _, err := Decode([]byte("<MPD></MPD>")); err == nil {
+		t.Error("manifest without representations should fail")
+	}
+}
+
+func TestVBRSizesSurviveManifest(t *testing.T) {
+	m, err := model.NewVBRManifest(model.EnvivioLadder(), 20, 4, 0.3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := FromManifest(m, "/video")
+	sizes, err := doc.SegmentBytes(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var distinct bool
+	for k := 1; k < len(sizes); k++ {
+		if sizes[k] != sizes[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("VBR manifest should produce varying chunk sizes")
+	}
+}
+
+func TestMediaPattern(t *testing.T) {
+	m := model.EnvivioManifest()
+	doc := FromManifest(m, "/video/")
+	pat := doc.Period.AdaptationSet.Representations[1].MediaPattern
+	if pat != "/video/1/$Number$.m4s" {
+		t.Errorf("MediaPattern = %q", pat)
+	}
+}

@@ -1,0 +1,21 @@
+package optimal
+
+import (
+	"testing"
+	"time"
+
+	"mpcdash/internal/model"
+	"mpcdash/internal/trace"
+)
+
+func TestSolveTiming(t *testing.T) {
+	m := model.EnvivioManifest()
+	s, err := NewSolver(m, model.Balanced, model.QIdentity, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.GenFCC(7, m.Duration()+60)
+	start := time.Now()
+	v := s.Solve(tr)
+	t.Logf("dense solve: %.3fs, QoE(OPT)=%.0f", time.Since(start).Seconds(), v)
+}

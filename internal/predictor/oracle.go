@@ -1,0 +1,81 @@
+package predictor
+
+import (
+	"math/rand"
+
+	"mpcdash/internal/trace"
+)
+
+// Oracle predicts future throughput by reading the ground-truth trace:
+// step i of the forecast is the trace's average rate over the window
+// [t + i·Step, t + (i+1)·Step] where t is the current session time. With
+// Step equal to the chunk duration this is the "perfect prediction"
+// MPC-OPT uses; the window average is the natural definition of a chunk's
+// future throughput before its exact download interval is known.
+type Oracle struct {
+	Trace *trace.Trace
+	Step  float64 // forecast window per chunk, seconds (the chunk duration)
+
+	now float64
+}
+
+// NewOracle returns a perfect predictor over tr with the given per-chunk
+// window (seconds).
+func NewOracle(tr *trace.Trace, step float64) *Oracle {
+	return &Oracle{Trace: tr, Step: step}
+}
+
+// Name implements Predictor.
+func (o *Oracle) Name() string { return "oracle" }
+
+// SetTime implements TimeAware.
+func (o *Oracle) SetTime(sec float64) { o.now = sec }
+
+// Observe implements Predictor (the oracle needs no feedback).
+func (o *Oracle) Observe(kbps float64) {}
+
+// Predict implements Predictor.
+func (o *Oracle) Predict(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = o.Trace.AverageRate(o.now+float64(i)*o.Step, o.Step)
+	}
+	return out
+}
+
+// NoisyOracle corrupts a perfect forecast with multiplicative noise so the
+// average absolute percentage error equals ErrorLevel, the independent
+// variable of Fig 11a. Each forecast entry is true·(1+e) with
+// e ~ Uniform(−2·ErrorLevel, 2·ErrorLevel) clamped above −0.95, which has
+// E[|e|] = ErrorLevel.
+type NoisyOracle struct {
+	Oracle
+	ErrorLevel float64
+	rng        *rand.Rand
+}
+
+// NewNoisyOracle returns an oracle with the given average error level,
+// deterministic for a given seed.
+func NewNoisyOracle(tr *trace.Trace, step, errorLevel float64, seed int64) *NoisyOracle {
+	return &NoisyOracle{
+		Oracle:     Oracle{Trace: tr, Step: step},
+		ErrorLevel: errorLevel,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Name implements Predictor.
+func (o *NoisyOracle) Name() string { return "noisy-oracle" }
+
+// Predict implements Predictor.
+func (o *NoisyOracle) Predict(n int) []float64 {
+	out := o.Oracle.Predict(n)
+	for i := range out {
+		e := (o.rng.Float64()*2 - 1) * 2 * o.ErrorLevel
+		if e < -0.95 {
+			e = -0.95
+		}
+		out[i] *= 1 + e
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package predictor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mpcdash/internal/trace"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	h := NewHarmonicMean(5)
+	if got := h.Predict(3); got[0] != 0 || len(got) != 3 {
+		t.Errorf("cold predictor: %v, want zeros", got)
+	}
+	h.Observe(100)
+	h.Observe(400)
+	// Harmonic mean of {100, 400} = 2/(1/100+1/400) = 160.
+	if got := h.Current(); math.Abs(got-160) > 1e-9 {
+		t.Errorf("harmonic mean = %v, want 160", got)
+	}
+	// Window slides: after 5 more observations the first two are gone.
+	for i := 0; i < 5; i++ {
+		h.Observe(1000)
+	}
+	if got := h.Current(); math.Abs(got-1000) > 1e-9 {
+		t.Errorf("after window slide = %v, want 1000", got)
+	}
+	p := h.Predict(4)
+	for _, v := range p {
+		if v != h.Current() {
+			t.Errorf("Predict entries should equal Current: %v", p)
+		}
+	}
+}
+
+// TestHarmonicMeanRobustToOutliers: the reason the paper uses it — one
+// outlier spike moves the harmonic mean less than the arithmetic mean.
+func TestHarmonicMeanRobustToOutliers(t *testing.T) {
+	h := NewHarmonicMean(5)
+	obs := []float64{1000, 1000, 1000, 1000, 100000}
+	var arith float64
+	for _, o := range obs {
+		h.Observe(o)
+		arith += o / float64(len(obs))
+	}
+	if hm := h.Current(); hm >= arith/4 {
+		t.Errorf("harmonic mean %v not robust vs arithmetic %v", hm, arith)
+	}
+}
+
+func TestHarmonicMeanNonPositiveObservation(t *testing.T) {
+	h := NewHarmonicMean(5)
+	h.Observe(0)
+	h.Observe(-10)
+	if got := h.Current(); got <= 0 || math.IsNaN(got) {
+		t.Errorf("degenerate observations should yield tiny positive mean, got %v", got)
+	}
+}
+
+func TestDefaultWindows(t *testing.T) {
+	if NewHarmonicMean(0).Window != 5 {
+		t.Error("default harmonic window should be 5")
+	}
+	if NewEWMA(0).Alpha != 0.4 || NewEWMA(2).Alpha != 0.4 {
+		t.Error("default EWMA alpha should be 0.4")
+	}
+	if NewErrorTracked(NewHarmonicMean(5), 0).Window != 5 {
+		t.Error("default error window should be 5")
+	}
+}
+
+func TestLastSample(t *testing.T) {
+	l := &LastSample{}
+	l.Observe(500)
+	l.Observe(800)
+	if got := l.Predict(2); got[0] != 800 || got[1] != 800 {
+		t.Errorf("LastSample = %v, want 800s", got)
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if got := e.Predict(1); got[0] != 0 {
+		t.Errorf("cold EWMA = %v, want 0", got[0])
+	}
+	e.Observe(1000)
+	e.Observe(2000)
+	if got := e.Predict(1)[0]; math.Abs(got-1500) > 1e-9 {
+		t.Errorf("EWMA = %v, want 1500", got)
+	}
+}
+
+func TestErrorTrackedLowerBound(t *testing.T) {
+	et := NewErrorTracked(NewHarmonicMean(5), 5)
+	// No prediction scored yet: lower bound equals the prediction.
+	et.Inner.Observe(1000)
+	lb := et.LowerBound(1)
+	if math.Abs(lb[0]-1000) > 1e-9 {
+		t.Errorf("unscored lower bound = %v, want 1000", lb[0])
+	}
+	// Predict 1000, observe 800: error = |1000-800|/800 = 0.25.
+	et.Predict(1)
+	et.Observe(800)
+	if got := et.MaxError(); math.Abs(got-0.25) > 1e-9 {
+		t.Errorf("MaxError = %v, want 0.25", got)
+	}
+	pred := et.Inner.Predict(1)[0]
+	lb = et.LowerBound(1)
+	if want := pred / 1.25; math.Abs(lb[0]-want) > 1e-9 {
+		t.Errorf("LowerBound = %v, want %v", lb[0], want)
+	}
+}
+
+// TestErrorTrackedBoundProperty: the bound never exceeds the prediction and
+// stays positive for positive predictions.
+func TestErrorTrackedBoundProperty(t *testing.T) {
+	f := func(obs []float64) bool {
+		et := NewErrorTracked(NewHarmonicMean(5), 5)
+		for _, o := range obs {
+			et.Predict(1)
+			et.Observe(math.Abs(o) + 1)
+		}
+		p := et.Inner.Predict(1)[0]
+		lb := et.LowerBound(1)[0]
+		return lb <= p+1e-9 && (p <= 0 || lb > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErrorTrackedName(t *testing.T) {
+	et := NewErrorTracked(NewHarmonicMean(5), 5)
+	if et.Name() != "harmonic+err" {
+		t.Errorf("Name = %q", et.Name())
+	}
+}
+
+func TestOracle(t *testing.T) {
+	tr, err := trace.FromRates("o", 4, []float64{1000, 2000, 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOracle(tr, 4)
+	o.SetTime(0)
+	got := o.Predict(3)
+	want := []float64{1000, 2000, 3000}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("oracle[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Mid-window prediction averages two segments.
+	o.SetTime(2)
+	if got := o.Predict(1)[0]; math.Abs(got-1500) > 1e-9 {
+		t.Errorf("oracle mid = %v, want 1500", got)
+	}
+	o.Observe(123) // must be a no-op
+	o.SetTime(0)
+	if got := o.Predict(1)[0]; got != 1000 {
+		t.Errorf("oracle after Observe = %v, want 1000", got)
+	}
+}
+
+func TestNoisyOracle(t *testing.T) {
+	tr, err := trace.FromRates("n", 4, []float64{1000, 1000, 1000, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const level = 0.2
+	no := NewNoisyOracle(tr, 4, level, 42)
+	no.SetTime(0)
+	var sumAbs float64
+	const n = 3000
+	for i := 0; i < n; i++ {
+		p := no.Predict(1)[0]
+		if p <= 0 {
+			t.Fatalf("noisy prediction %v not positive", p)
+		}
+		sumAbs += math.Abs(p-1000) / 1000
+	}
+	avg := sumAbs / n
+	if math.Abs(avg-level) > 0.03 {
+		t.Errorf("average error = %v, want ≈%v", avg, level)
+	}
+	// Determinism for a fixed seed.
+	a := NewNoisyOracle(tr, 4, level, 7)
+	b := NewNoisyOracle(tr, 4, level, 7)
+	a.SetTime(0)
+	b.SetTime(0)
+	for i := 0; i < 10; i++ {
+		if a.Predict(1)[0] != b.Predict(1)[0] {
+			t.Fatal("noisy oracle not deterministic per seed")
+		}
+	}
+}
+
+func TestErrorTrackedForwardsSetTime(t *testing.T) {
+	tr, err := trace.FromRates("f", 4, []float64{1000, 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	et := NewErrorTracked(NewOracle(tr, 4), 5)
+	et.SetTime(4)
+	if got := et.Predict(1)[0]; math.Abs(got-2000) > 1e-9 {
+		t.Errorf("forwarded SetTime: predict = %v, want 2000", got)
+	}
+}

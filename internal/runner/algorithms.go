@@ -1,0 +1,121 @@
+package runner
+
+import (
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/fastmpc"
+	"mpcdash/internal/model"
+	"mpcdash/internal/predictor"
+	"mpcdash/internal/sim"
+	"mpcdash/internal/trace"
+)
+
+// The canonical algorithm set of Sec 7.1.2, each paired with the predictor
+// and startup policy the paper evaluates it with:
+//
+//	RB, FESTIVE, FastMPC  — harmonic mean of the past 5 chunks
+//	RobustMPC             — harmonic mean + max-error lower bound (Sec 4.3)
+//	BB                    — no throughput input (predictor only logged)
+//	dash.js               — last-chunk download ratio
+//	MPC-OPT               — perfect 5-chunk oracle (simulation-only upper line)
+//
+// Non-MPC algorithms start playback when the first chunk arrives; the MPC
+// family optimizes the startup delay jointly (f_stmpc).
+
+// HarmonicPred returns the standard predictor factory.
+func HarmonicPred(window int) PredictorFactory {
+	return func(*trace.Trace) predictor.Predictor { return predictor.NewHarmonicMean(window) }
+}
+
+// TrackedHarmonicPred returns harmonic mean wrapped with error tracking,
+// the RobustMPC configuration.
+func TrackedHarmonicPred(window int) PredictorFactory {
+	return func(*trace.Trace) predictor.Predictor {
+		return predictor.NewErrorTracked(predictor.NewHarmonicMean(window), window)
+	}
+}
+
+// LastSamplePred returns the last-chunk-throughput predictor used by the
+// dash.js download-ratio rule.
+func LastSamplePred() PredictorFactory {
+	return func(*trace.Trace) predictor.Predictor { return &predictor.LastSample{} }
+}
+
+// OraclePred returns the perfect predictor with the given per-chunk window.
+func OraclePred(step float64) PredictorFactory {
+	return func(tr *trace.Trace) predictor.Predictor { return predictor.NewOracle(tr, step) }
+}
+
+// NoisyOraclePred returns the Fig 11a predictor: ground truth corrupted to
+// the given average error level, seeded per trace for determinism.
+func NoisyOraclePred(step, errorLevel float64, baseSeed int64) PredictorFactory {
+	seq := baseSeed
+	return func(tr *trace.Trace) predictor.Predictor {
+		seq++
+		return predictor.NewNoisyOracle(tr, step, errorLevel, seq)
+	}
+}
+
+// StandardSet builds the six algorithms of Fig 8 for the given QoE
+// configuration. The FastMPC table is built once and shared.
+func StandardSet(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int) []Algorithm {
+	return []Algorithm{
+		{
+			Name:      "RB",
+			Factory:   abr.NewRB(1),
+			Predictor: HarmonicPred(5),
+			Startup:   sim.StartupFirstChunk,
+		},
+		{
+			Name:      "BB",
+			Factory:   abr.NewBB(5, 10),
+			Predictor: HarmonicPred(5),
+			Startup:   sim.StartupFirstChunk,
+		},
+		{
+			Name:      "FastMPC",
+			Factory:   fastmpc.NewController(w, q, bufferMax, horizon, nil, false, "FastMPC"),
+			Predictor: HarmonicPred(5),
+			Startup:   sim.StartupFirstChunk,
+		},
+		{
+			Name:      "RobustMPC",
+			Factory:   core.NewRobustMPC(w, q, bufferMax, horizon),
+			Predictor: TrackedHarmonicPred(5),
+			Startup:   sim.StartupController,
+		},
+		{
+			Name:      "dash.js",
+			Factory:   abr.NewDashJS(0, 0),
+			Predictor: LastSamplePred(),
+			Startup:   sim.StartupFirstChunk,
+		},
+		{
+			Name:      "FESTIVE",
+			Factory:   abr.NewFESTIVE(12, 1, 5),
+			Predictor: HarmonicPred(5),
+			Startup:   sim.StartupFirstChunk,
+		},
+	}
+}
+
+// MPCAlgorithm returns the exact-MPC algorithm with the harmonic predictor.
+func MPCAlgorithm(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int) Algorithm {
+	return Algorithm{
+		Name:      "MPC",
+		Factory:   core.NewMPC(w, q, bufferMax, horizon),
+		Predictor: HarmonicPred(5),
+		Startup:   sim.StartupController,
+	}
+}
+
+// MPCOptAlgorithm returns MPC with the perfect N-chunk oracle, the MPC-OPT
+// line of Figs 11–12.
+func MPCOptAlgorithm(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int, chunkDur float64) Algorithm {
+	return Algorithm{
+		Name:      "MPC-OPT",
+		Factory:   core.NewNamedMPC("MPC-OPT", w, q, bufferMax, horizon, false),
+		Predictor: OraclePred(chunkDur),
+		Startup:   sim.StartupController,
+	}
+}

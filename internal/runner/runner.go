@@ -1,0 +1,207 @@
+// Package runner executes playback sessions at dataset scale: it pairs each
+// algorithm with its predictor and startup policy (Sec 7.1.2), fans sessions
+// out across CPUs, normalizes QoE by the per-trace offline optimum, and
+// aggregates the per-session metrics every figure of Sec 7 is drawn from.
+package runner
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/model"
+	"mpcdash/internal/optimal"
+	"mpcdash/internal/predictor"
+	"mpcdash/internal/sim"
+	"mpcdash/internal/trace"
+)
+
+// PredictorFactory builds a fresh per-session predictor; oracle predictors
+// need the session's trace.
+type PredictorFactory func(tr *trace.Trace) predictor.Predictor
+
+// Algorithm pairs a controller with the predictor and startup policy it is
+// evaluated with.
+type Algorithm struct {
+	Name      string
+	Factory   abr.Factory
+	Predictor PredictorFactory
+	Startup   sim.StartupPolicy
+}
+
+// Outcome is one completed session with its scores.
+type Outcome struct {
+	Algorithm string
+	TraceName string
+	Result    *model.SessionResult
+	Metrics   model.Metrics
+	QoE       float64
+	NormQoE   float64 // QoE / QoE(OPT); NaN when normalization is disabled
+	PredError float64 // session-average |Ĉ−C|/C over chunks with a prediction
+}
+
+// Runner evaluates algorithms over trace datasets.
+type Runner struct {
+	Manifest *model.Manifest
+	Weights  model.Weights
+	Quality  model.QualityFunc
+	Sim      sim.Config
+
+	// Normalize enables division by the offline optimal QoE (cached per
+	// trace). Disable for raw-QoE studies.
+	Normalize bool
+	// Opt overrides the offline solver configuration; nil uses defaults.
+	Opt *optimal.Solver
+
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+
+	mu       sync.Mutex
+	optCache map[*trace.Trace]float64
+}
+
+// New returns a Runner with the paper's defaults (Balanced weights,
+// identity quality, 30 s buffer, horizon 5, normalization on).
+func New(m *model.Manifest) *Runner {
+	return &Runner{
+		Manifest:  m,
+		Weights:   model.Balanced,
+		Quality:   model.QIdentity,
+		Sim:       sim.DefaultConfig(),
+		Normalize: true,
+	}
+}
+
+// OptimalQoE returns the cached offline optimum for tr, computing it on
+// first use.
+func (r *Runner) OptimalQoE(tr *trace.Trace) (float64, error) {
+	r.mu.Lock()
+	if r.optCache == nil {
+		r.optCache = make(map[*trace.Trace]float64)
+	}
+	if v, ok := r.optCache[tr]; ok {
+		r.mu.Unlock()
+		return v, nil
+	}
+	solver := r.Opt
+	r.mu.Unlock()
+
+	if solver == nil {
+		s, err := optimal.NewSolver(r.Manifest, r.Weights, r.Quality, r.Sim.BufferMax)
+		if err != nil {
+			return 0, err
+		}
+		solver = s
+	}
+	v := solver.Solve(tr)
+
+	r.mu.Lock()
+	r.optCache[tr] = v
+	r.mu.Unlock()
+	return v, nil
+}
+
+// RunSession plays one trace with one algorithm.
+func (r *Runner) RunSession(alg Algorithm, tr *trace.Trace) (Outcome, error) {
+	ctrl := alg.Factory(r.Manifest)
+	pred := alg.Predictor(tr)
+	cfg := r.Sim
+	cfg.Startup = alg.Startup
+	res, err := sim.Run(r.Manifest, tr, ctrl, pred, cfg)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("runner: %s on %s: %w", alg.Name, tr.Name, err)
+	}
+	out := Outcome{
+		Algorithm: alg.Name,
+		TraceName: tr.Name,
+		Result:    res,
+		Metrics:   res.ComputeMetrics(r.Quality),
+		QoE:       res.QoE(r.Weights, r.Quality),
+		NormQoE:   math.NaN(),
+		PredError: sessionPredError(res),
+	}
+	if r.Normalize {
+		opt, err := r.OptimalQoE(tr)
+		if err != nil {
+			return Outcome{}, err
+		}
+		if opt != 0 {
+			out.NormQoE = out.QoE / opt
+		}
+	}
+	return out, nil
+}
+
+// RunDataset plays every trace with the algorithm, in parallel.
+func (r *Runner) RunDataset(alg Algorithm, traces []*trace.Trace) ([]Outcome, error) {
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	outs := make([]Outcome, len(traces))
+	errs := make([]error, len(traces))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outs[i], errs[i] = r.RunSession(alg, traces[i])
+			}
+		}()
+	}
+	for i := range traces {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return outs, nil
+}
+
+// RunAll evaluates every algorithm over the dataset and returns outcomes
+// keyed by algorithm name.
+func (r *Runner) RunAll(algs []Algorithm, traces []*trace.Trace) (map[string][]Outcome, error) {
+	result := make(map[string][]Outcome, len(algs))
+	for _, alg := range algs {
+		outs, err := r.RunDataset(alg, traces)
+		if err != nil {
+			return nil, err
+		}
+		result[alg.Name] = outs
+	}
+	return result, nil
+}
+
+// sessionPredError is the per-session average absolute percentage
+// prediction error plotted in Fig 7 (right).
+func sessionPredError(res *model.SessionResult) float64 {
+	var sum float64
+	var n int
+	for _, c := range res.Chunks {
+		if c.Predicted > 0 && c.Throughput > 0 {
+			sum += math.Abs(c.Predicted-c.Throughput) / c.Throughput
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Select extracts a per-session series from outcomes.
+func Select(outs []Outcome, f func(Outcome) float64) []float64 {
+	xs := make([]float64, len(outs))
+	for i, o := range outs {
+		xs[i] = f(o)
+	}
+	return xs
+}

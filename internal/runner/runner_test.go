@@ -1,0 +1,195 @@
+package runner
+
+import (
+	"math"
+	"testing"
+
+	"mpcdash/internal/model"
+	"mpcdash/internal/sim"
+	"mpcdash/internal/trace"
+)
+
+func shortManifest(t *testing.T) *model.Manifest {
+	t.Helper()
+	m, err := model.NewCBRManifest(model.EnvivioLadder(), 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestRunSessionBasics(t *testing.T) {
+	m := shortManifest(t)
+	r := New(m)
+	tr := trace.GenFCC(4, m.Duration()+120)
+	alg := StandardSet(model.Balanced, model.QIdentity, 30, 5)[1] // BB
+	out, err := r.RunSession(alg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Algorithm != "BB" || out.TraceName != tr.Name {
+		t.Errorf("labels: %q %q", out.Algorithm, out.TraceName)
+	}
+	if len(out.Result.Chunks) != m.ChunkCount {
+		t.Errorf("chunks = %d", len(out.Result.Chunks))
+	}
+	if math.IsNaN(out.QoE) {
+		t.Error("QoE is NaN")
+	}
+	if math.IsNaN(out.NormQoE) {
+		t.Error("NormQoE is NaN with Normalize on")
+	}
+	if out.PredError < 0 || out.PredError > 5 {
+		t.Errorf("PredError = %v", out.PredError)
+	}
+}
+
+func TestNormalizeDisabled(t *testing.T) {
+	m := shortManifest(t)
+	r := New(m)
+	r.Normalize = false
+	tr := trace.GenFCC(4, m.Duration()+120)
+	out, err := r.RunSession(StandardSet(model.Balanced, model.QIdentity, 30, 5)[0], tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(out.NormQoE) {
+		t.Errorf("NormQoE = %v, want NaN when normalization is off", out.NormQoE)
+	}
+}
+
+func TestOptimalQoECached(t *testing.T) {
+	m := shortManifest(t)
+	r := New(m)
+	tr := trace.GenFCC(4, m.Duration()+120)
+	a, err := r.OptimalQoE(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.OptimalQoE(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cache miss: %v vs %v", a, b)
+	}
+	if len(r.optCache) != 1 {
+		t.Errorf("cache size = %d", len(r.optCache))
+	}
+}
+
+func TestRunDatasetParallelDeterminism(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.FCC, 6, m.Duration()+120, 3)
+	alg := StandardSet(model.Balanced, model.QIdentity, 30, 5)[0]
+
+	run := func(workers int) []Outcome {
+		r := New(m)
+		r.Workers = workers
+		outs, err := r.RunDataset(alg, traces)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outs
+	}
+	serial := run(1)
+	parallel := run(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range serial {
+		if serial[i].QoE != parallel[i].QoE || serial[i].TraceName != parallel[i].TraceName {
+			t.Errorf("trace %d: serial %v vs parallel %v", i, serial[i].QoE, parallel[i].QoE)
+		}
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.Synthetic, 3, m.Duration()+120, 5)
+	r := New(m)
+	algs := StandardSet(model.Balanced, model.QIdentity, 30, 5)[:2]
+	byAlg, err := r.RunAll(algs, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byAlg) != 2 {
+		t.Fatalf("algorithms = %d", len(byAlg))
+	}
+	for name, outs := range byAlg {
+		if len(outs) != 3 {
+			t.Errorf("%s: %d outcomes", name, len(outs))
+		}
+	}
+}
+
+func TestStartupPolicyPerAlgorithm(t *testing.T) {
+	m := shortManifest(t)
+	tr := trace.GenFCC(8, m.Duration()+120)
+	r := New(m)
+	// The RobustMPC algorithm runs with StartupController; FixedStartup in
+	// the base sim config must not leak into it.
+	r.Sim.FixedStartup = 99
+	set := StandardSet(model.Balanced, model.QIdentity, 30, 5)
+	robust := set[3]
+	if robust.Startup != sim.StartupController {
+		t.Fatalf("unexpected standard set order: %s has policy %v", robust.Name, robust.Startup)
+	}
+	out, err := r.RunSession(robust, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.StartupDelay == 99 {
+		t.Error("fixed startup leaked into a controller-startup algorithm")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	outs := []Outcome{{QoE: 1}, {QoE: 2}, {QoE: 3}}
+	got := Select(outs, func(o Outcome) float64 { return o.QoE })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Select = %v", got)
+	}
+}
+
+func TestSessionPredError(t *testing.T) {
+	res := &model.SessionResult{Chunks: []model.ChunkRecord{
+		{Predicted: 1000, Throughput: 800}, // err 0.25
+		{Predicted: 0, Throughput: 800},    // skipped
+		{Predicted: 900, Throughput: 1000}, // err 0.1
+	}}
+	if got := sessionPredError(res); math.Abs(got-0.175) > 1e-9 {
+		t.Errorf("sessionPredError = %v, want 0.175", got)
+	}
+	if got := sessionPredError(&model.SessionResult{}); got != 0 {
+		t.Errorf("empty session error = %v", got)
+	}
+}
+
+func TestMPCOptBeatsHarmonicMPC(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.HSDPA, 6, m.Duration()+120, 11)
+	r := New(m)
+	r.Normalize = false
+	optAlg := MPCOptAlgorithm(model.Balanced, model.QIdentity, 30, 5, m.ChunkDuration)
+	mpcAlg := MPCAlgorithm(model.Balanced, model.QIdentity, 30, 5)
+	optOuts, err := r.RunDataset(optAlg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpcOuts, err := r.RunDataset(mpcAlg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var optSum, mpcSum float64
+	for i := range optOuts {
+		optSum += optOuts[i].QoE
+		mpcSum += mpcOuts[i].QoE
+	}
+	// Receding-horizon MPC is not globally optimal even with a perfect
+	// horizon forecast, and the oracle predicts window averages rather
+	// than exact download intervals — allow a small tolerance.
+	if optSum < mpcSum-0.03*math.Abs(mpcSum) {
+		t.Errorf("perfect prediction (%v) should not clearly lose to harmonic mean (%v)", optSum, mpcSum)
+	}
+}

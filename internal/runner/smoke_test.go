@@ -1,0 +1,38 @@
+package runner
+
+import (
+	"testing"
+
+	"mpcdash/internal/model"
+	"mpcdash/internal/stats"
+	"mpcdash/internal/trace"
+)
+
+// TestSmokeStandardSet runs the full Fig 8 pipeline on a small dataset and
+// checks basic sanity: sessions complete, QoE is finite, normalized QoE is
+// at most ~1, and the MPC family is competitive.
+func TestSmokeStandardSet(t *testing.T) {
+	m := model.EnvivioManifest()
+	r := New(m)
+	traces := trace.Dataset(trace.FCC, 8, m.Duration()+60, 7)
+	algs := StandardSet(model.Balanced, model.QIdentity, 30, 5)
+	algs = append(algs, MPCAlgorithm(model.Balanced, model.QIdentity, 30, 5))
+
+	for _, alg := range algs {
+		outs, err := r.RunDataset(alg, traces)
+		if err != nil {
+			t.Fatalf("%s: %v", alg.Name, err)
+		}
+		n := Select(outs, func(o Outcome) float64 { return o.NormQoE })
+		med := stats.Median(n)
+		t.Logf("%-10s median n-QoE %.3f", alg.Name, med)
+		for _, o := range outs {
+			if len(o.Result.Chunks) != m.ChunkCount {
+				t.Fatalf("%s on %s: %d chunks, want %d", alg.Name, o.TraceName, len(o.Result.Chunks), m.ChunkCount)
+			}
+			if o.NormQoE > 1.05 {
+				t.Errorf("%s on %s: normalized QoE %.3f > 1 (offline optimum not optimal?)", alg.Name, o.TraceName, o.NormQoE)
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+// Package stats provides the small set of descriptive statistics the
+// evaluation needs: means, standard deviations, quantiles, and empirical
+// CDFs rendered as the point series the paper's figures plot.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Stddev returns the population standard deviation, or NaN for an empty slice.
+func Stddev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) with linear interpolation.
+// It returns NaN for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q)
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5-quantile.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// CDF is an empirical cumulative distribution: at X[i] the fraction of
+// observations ≤ X[i] is P[i].
+type CDF struct {
+	X []float64
+	P []float64
+}
+
+// NewCDF builds the empirical CDF of xs.
+func NewCDF(xs []float64) CDF {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	c := CDF{X: sorted, P: make([]float64, n)}
+	for i := range c.P {
+		c.P[i] = float64(i+1) / float64(n)
+	}
+	return c
+}
+
+// At returns the CDF value at x.
+func (c CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.X, x)
+	// SearchFloat64s finds the first index with X[i] >= x; walk forward over
+	// equal values so we count every observation ≤ x.
+	for i < len(c.X) && c.X[i] == x {
+		i++
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.P[i-1]
+}
+
+// Quantile inverts the CDF.
+func (c CDF) Quantile(q float64) float64 {
+	if len(c.X) == 0 {
+		return math.NaN()
+	}
+	return quantileSorted(c.X, q)
+}
+
+// Points down-samples the CDF to at most n evenly spaced points for
+// compact printing of figure series.
+func (c CDF) Points(n int) CDF {
+	if n <= 0 || len(c.X) <= n {
+		return c
+	}
+	out := CDF{X: make([]float64, n), P: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		j := i * (len(c.X) - 1) / (n - 1)
+		out.X[i] = c.X[j]
+		out.P[i] = c.P[j]
+	}
+	return out
+}
+
+// Summary is a compact five-number-style description of a sample.
+type Summary struct {
+	N                  int
+	Mean, Std          float64
+	Min, P25, P50, P75 float64
+	P90, Max           float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Std, s.Min, s.P25, s.P50, s.P75, s.P90, s.Max = nan, nan, nan, nan, nan, nan, nan, nan
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Mean = Mean(xs)
+	s.Std = Stddev(xs)
+	s.Min = sorted[0]
+	s.Max = sorted[len(sorted)-1]
+	s.P25 = quantileSorted(sorted, 0.25)
+	s.P50 = quantileSorted(sorted, 0.50)
+	s.P75 = quantileSorted(sorted, 0.75)
+	s.P90 = quantileSorted(sorted, 0.90)
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f std=%.1f min=%.1f p25=%.1f p50=%.1f p75=%.1f p90=%.1f max=%.1f",
+		s.N, s.Mean, s.Std, s.Min, s.P25, s.P50, s.P75, s.P90, s.Max)
+}

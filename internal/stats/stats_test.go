@@ -1,0 +1,134 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Stddev(xs); got != 2 {
+		t.Errorf("Stddev = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Stddev(nil)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.1, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.35); math.Abs(got-3.5) > 1e-9 {
+		t.Errorf("interpolated quantile = %v, want 3.5", got)
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+	if got := Median([]float64{9, 1, 5}); got != 5 {
+		t.Errorf("Median = %v, want 5", got)
+	}
+}
+
+// TestQuantileDoesNotMutate: the input slice must not be reordered.
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {9, 1},
+	}
+	for _, cse := range cases {
+		if got := c.At(cse.x); math.Abs(got-cse.want) > 1e-9 {
+			t.Errorf("At(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+	if got := c.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Errorf("CDF quantile = %v, want 2", got)
+	}
+}
+
+// TestCDFProperties: CDF is a proper distribution function.
+func TestCDFProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		c := NewCDF(clean)
+		if !sort.Float64sAreSorted(c.X) {
+			return false
+		}
+		prev := 0.0
+		for _, p := range c.P {
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return c.P[len(c.P)-1] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	c := NewCDF(xs)
+	p := c.Points(11)
+	if len(p.X) != 11 {
+		t.Fatalf("Points(11) has %d entries", len(p.X))
+	}
+	if p.X[0] != c.X[0] || p.X[10] != c.X[99] {
+		t.Error("down-sampling must keep the endpoints")
+	}
+	// No-op when already small enough.
+	small := NewCDF([]float64{1, 2})
+	if got := small.Points(10); len(got.X) != 2 {
+		t.Errorf("Points on small CDF changed size: %d", len(got.X))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.N != 10 || s.Min != 1 || s.Max != 10 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if math.Abs(s.P50-5.5) > 1e-9 {
+		t.Errorf("P50 = %v, want 5.5", s.P50)
+	}
+	if s.String() == "" {
+		t.Error("empty String()")
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Mean) {
+		t.Errorf("empty summary = %+v", empty)
+	}
+}

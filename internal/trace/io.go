@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is one sample per line, "<duration-seconds> <kbps>",
+// with '#' comments and blank lines ignored. It is the common denominator
+// of published trace archives (the HSDPA logs and the Mahimahi-style
+// conversions used by later ABR work are trivially convertible).
+
+// Write serializes the trace in text format.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s\n", t.Name); err != nil {
+		return err
+	}
+	for _, s := range t.Samples {
+		if _, err := fmt.Fprintf(bw, "%g %g\n", s.Duration, s.Kbps); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a text-format trace.
+func Read(r io.Reader, name string) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	var samples []Sample
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace %q line %d: want \"duration kbps\", got %q", name, line, text)
+		}
+		dur, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %q line %d: bad duration: %v", name, line, err)
+		}
+		kbps, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %q line %d: bad rate: %v", name, line, err)
+		}
+		samples = append(samples, Sample{Duration: dur, Kbps: kbps})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace %q: %v", name, err)
+	}
+	return New(name, samples)
+}

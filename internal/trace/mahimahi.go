@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Mahimahi link traces — the interchange format of the post-2015 ABR
+// literature (Pensieve, Puffer, mahimahi's mm-link) — list one integer
+// millisecond timestamp per line, each granting one 1500-byte packet
+// delivery opportunity. These converters bridge that ecosystem to our
+// piecewise-constant Trace: import aggregates opportunities into
+// fixed-width rate bins; export emits evenly spaced opportunities matching
+// each segment's rate.
+
+// mahimahiPacketBytes is the MTU-sized delivery opportunity of mm-link.
+const mahimahiPacketBytes = 1500
+
+// ReadMahimahi parses a mahimahi trace, aggregating delivery opportunities
+// into bins of binMs milliseconds (≤ 0 selects 500 ms). The trace spans
+// from 0 to the last timestamp, rounded up to a whole bin.
+func ReadMahimahi(r io.Reader, name string, binMs int) (*Trace, error) {
+	if binMs <= 0 {
+		binMs = 500
+	}
+	sc := bufio.NewScanner(r)
+	var stamps []int64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		ms, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace %q line %d: bad mahimahi timestamp %q", name, line, text)
+		}
+		if ms < 0 {
+			return nil, fmt.Errorf("trace %q line %d: negative timestamp %d", name, line, ms)
+		}
+		stamps = append(stamps, ms)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace %q: %v", name, err)
+	}
+	if len(stamps) == 0 {
+		return nil, fmt.Errorf("trace %q: no delivery opportunities", name)
+	}
+	sort.Slice(stamps, func(i, j int) bool { return stamps[i] < stamps[j] })
+
+	last := stamps[len(stamps)-1]
+	bins := int(last/int64(binMs)) + 1
+	counts := make([]int, bins)
+	for _, ms := range stamps {
+		counts[int(ms/int64(binMs))]++
+	}
+	rates := make([]float64, bins)
+	binSec := float64(binMs) / 1000
+	for i, c := range counts {
+		// kbits delivered in the bin ÷ bin seconds.
+		rates[i] = float64(c) * mahimahiPacketBytes * 8 / 1000 / binSec
+	}
+	return FromRates(name, binSec, rates)
+}
+
+// WriteMahimahi renders one pass of the trace as mahimahi delivery
+// opportunities: within each constant-rate segment, packets are spaced
+// evenly to deliver the segment's volume.
+func WriteMahimahi(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	var startMs float64
+	carry := 0.0 // fractional packet carried across segments
+	for _, s := range t.Samples {
+		kbits := s.Kbps*s.Duration + carry*mahimahiPacketBytes*8/1000
+		packets := kbits * 1000 / 8 / mahimahiPacketBytes
+		whole := math.Floor(packets)
+		carry = packets - whole
+		n := int(whole)
+		for i := 0; i < n; i++ {
+			// Spread evenly through the segment.
+			ms := startMs + (float64(i)+0.5)/float64(n)*s.Duration*1000
+			if _, err := fmt.Fprintf(bw, "%d\n", int64(ms)); err != nil {
+				return err
+			}
+		}
+		startMs += s.Duration * 1000
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,147 @@
+// Package viz renders small terminal graphics — sparklines, horizontal
+// bars, and multi-series line plots on a character grid — so the CLI tools
+// can show the shape of a CDF or a sensitivity sweep without leaving the
+// terminal. Pure text, no dependencies.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are the eighth-block ramp used by Sparkline.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a one-line block-character chart. NaN and
+// ±Inf values render as spaces. A flat series renders mid-height.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range values {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			b.WriteRune(' ')
+		case hi == lo:
+			b.WriteRune(sparkRunes[len(sparkRunes)/2])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			b.WriteRune(sparkRunes[idx])
+		}
+	}
+	return b.String()
+}
+
+// Bar renders a labelled horizontal bar scaled to width cells, with the
+// numeric value appended.
+func Bar(label string, value, max float64, width int) string {
+	if width < 1 {
+		width = 40
+	}
+	frac := 0.0
+	if max > 0 && value > 0 {
+		frac = value / max
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	fill := int(math.Round(frac * float64(width)))
+	return fmt.Sprintf("%-14s %s%s %.3f",
+		label, strings.Repeat("█", fill), strings.Repeat("·", width-fill), value)
+}
+
+// Series is one labelled line of a Plot.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Plot renders series onto a rows×cols character grid with simple axis
+// annotations; each series draws with its own marker rune (cycling
+// 1,2,3…). Points outside the common range are clamped to the border.
+func Plot(series []Series, rows, cols int) string {
+	if rows < 4 {
+		rows = 10
+	}
+	if cols < 8 {
+		cols = 60
+	}
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			xlo, xhi = math.Min(xlo, s.X[i]), math.Max(xhi, s.X[i])
+			ylo, yhi = math.Min(ylo, s.Y[i]), math.Max(yhi, s.Y[i])
+			any = true
+		}
+	}
+	if !any {
+		return "(no data)\n"
+	}
+	if xhi == xlo {
+		xhi = xlo + 1
+	}
+	if yhi == ylo {
+		yhi = ylo + 1
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", cols))
+	}
+	for si, s := range series {
+		marker := rune('1' + si%9)
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.X[i]) || math.IsNaN(s.Y[i]) {
+				continue
+			}
+			c := int((s.X[i] - xlo) / (xhi - xlo) * float64(cols-1))
+			r := rows - 1 - int((s.Y[i]-ylo)/(yhi-ylo)*float64(rows-1))
+			if c < 0 {
+				c = 0
+			}
+			if c >= cols {
+				c = cols - 1
+			}
+			if r < 0 {
+				r = 0
+			}
+			if r >= rows {
+				r = rows - 1
+			}
+			grid[r][c] = marker
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", yhi, string(grid[0]))
+	for r := 1; r < rows-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.3g ┤%s\n", ylo, string(grid[rows-1]))
+	fmt.Fprintf(&b, "%10s └%s\n", "", strings.Repeat("─", cols))
+	fmt.Fprintf(&b, "%10s  %-*.4g%*.4g\n", "", cols/2, xlo, cols-cols/2, xhi)
+	for si, s := range series {
+		fmt.Fprintf(&b, "%10s  %c = %s\n", "", rune('1'+si%9), s.Label)
+	}
+	return b.String()
+}

@@ -1,0 +1,96 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7})
+	if utf8.RuneCountInString(s) != 8 {
+		t.Fatalf("length = %d runes", utf8.RuneCountInString(s))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("extremes = %c %c", runes[0], runes[7])
+	}
+	// Monotone input → monotone ramp.
+	for i := 1; i < len(runes); i++ {
+		if runes[i] < runes[i-1] {
+			t.Errorf("ramp not monotone at %d: %q", i, s)
+		}
+	}
+	// Flat series renders uniformly at mid height.
+	flat := []rune(Sparkline([]float64{5, 5, 5}))
+	if flat[0] != flat[1] || flat[1] != flat[2] {
+		t.Errorf("flat series not uniform: %q", string(flat))
+	}
+	// NaN renders as space.
+	withNaN := []rune(Sparkline([]float64{1, math.NaN(), 2}))
+	if withNaN[1] != ' ' {
+		t.Errorf("NaN cell = %q", string(withNaN[1]))
+	}
+}
+
+func TestBar(t *testing.T) {
+	full := Bar("x", 10, 10, 10)
+	if strings.Count(full, "█") != 10 {
+		t.Errorf("full bar: %q", full)
+	}
+	half := Bar("x", 5, 10, 10)
+	if strings.Count(half, "█") != 5 || strings.Count(half, "·") != 5 {
+		t.Errorf("half bar: %q", half)
+	}
+	zero := Bar("x", 0, 10, 10)
+	if strings.Count(zero, "█") != 0 {
+		t.Errorf("zero bar: %q", zero)
+	}
+	over := Bar("x", 20, 10, 10)
+	if strings.Count(over, "█") != 10 {
+		t.Errorf("overflow bar should clamp: %q", over)
+	}
+	if !strings.Contains(full, "10.000") {
+		t.Errorf("value missing: %q", full)
+	}
+}
+
+func TestPlot(t *testing.T) {
+	out := Plot([]Series{
+		{Label: "up", X: []float64{0, 1, 2, 3}, Y: []float64{0, 1, 2, 3}},
+		{Label: "down", X: []float64{0, 1, 2, 3}, Y: []float64{3, 2, 1, 0}},
+	}, 8, 40)
+	if !strings.Contains(out, "1 = up") || !strings.Contains(out, "2 = down") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1") || !strings.Contains(out, "2") {
+		t.Error("markers missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// rows + axis + xlabels + 2 legend lines
+	if len(lines) != 8+1+1+2 {
+		t.Errorf("line count = %d:\n%s", len(lines), out)
+	}
+	// Increasing series: marker '1' appears in the top row (at the right).
+	if !strings.Contains(lines[0], "1") {
+		t.Errorf("top row should contain series 1's max:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	if got := Plot(nil, 5, 20); got != "(no data)\n" {
+		t.Errorf("nil series = %q", got)
+	}
+	if got := Plot([]Series{{Label: "nan", X: []float64{math.NaN()}, Y: []float64{math.NaN()}}}, 5, 20); got != "(no data)\n" {
+		t.Errorf("all-NaN = %q", got)
+	}
+	// Single point must not divide by zero.
+	out := Plot([]Series{{Label: "pt", X: []float64{1}, Y: []float64{2}}}, 5, 20)
+	if !strings.Contains(out, "1 = pt") {
+		t.Errorf("single point:\n%s", out)
+	}
+}

@@ -1,0 +1,185 @@
+package mpcdash_test
+
+import (
+	"math"
+	"testing"
+
+	"mpcdash"
+)
+
+func TestPublicAPIRun(t *testing.T) {
+	video := mpcdash.EnvivioVideo()
+	if video.Duration() != 260 || video.ChunkCount() != 65 {
+		t.Fatalf("Envivio video: %v s, %d chunks", video.Duration(), video.ChunkCount())
+	}
+	if got := video.Ladder(); len(got) != 5 || got[0] != 350 || got[4] != 3000 {
+		t.Fatalf("ladder = %v", got)
+	}
+
+	traces := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 2, video.Duration()+120, 3)
+	if len(traces) != 2 {
+		t.Fatalf("traces = %d", len(traces))
+	}
+	res, err := mpcdash.Run(video, traces[0], mpcdash.RobustMPC, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != "RobustMPC" {
+		t.Errorf("Algorithm = %q", res.Algorithm)
+	}
+	if len(res.Chunks) != 65 {
+		t.Errorf("chunks = %d", len(res.Chunks))
+	}
+	if math.IsNaN(res.QoE) || math.IsNaN(res.NormQoE) {
+		t.Errorf("QoE %v / NormQoE %v", res.QoE, res.NormQoE)
+	}
+	if res.NormQoE > 1.05 || res.NormQoE < -2 {
+		t.Errorf("NormQoE %v out of plausible range", res.NormQoE)
+	}
+	if res.Metrics.AvgBitrate < 350 || res.Metrics.AvgBitrate > 3000 {
+		t.Errorf("AvgBitrate %v outside ladder", res.Metrics.AvgBitrate)
+	}
+}
+
+func TestPublicAPIEveryAlgorithm(t *testing.T) {
+	video := mpcdash.EnvivioVideo()
+	tr := mpcdash.GenerateDataset(mpcdash.DatasetSynthetic, 1, video.Duration()+120, 5)[0]
+	for _, a := range mpcdash.Algorithms() {
+		res, err := mpcdash.Run(video, tr, a, mpcdash.DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", a, err)
+		}
+		if res.Algorithm != a.String() {
+			t.Errorf("%s reported as %q", a, res.Algorithm)
+		}
+	}
+}
+
+func TestPublicAPICompare(t *testing.T) {
+	video := mpcdash.EnvivioVideo()
+	traces := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 3, video.Duration()+120, 9)
+	results, err := mpcdash.Compare(video, traces,
+		[]mpcdash.Algorithm{mpcdash.BB, mpcdash.RobustMPC}, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("algorithms = %d", len(results))
+	}
+	for name, list := range results {
+		if len(list) != 3 {
+			t.Errorf("%s: %d results", name, len(list))
+		}
+	}
+}
+
+func TestPublicAPIValidation(t *testing.T) {
+	if _, err := mpcdash.NewVideo(nil, 10, 4); err == nil {
+		t.Error("empty ladder should fail")
+	}
+	if _, err := mpcdash.NewVideo([]float64{100, 200}, 0, 4); err == nil {
+		t.Error("zero chunks should fail")
+	}
+	video := mpcdash.EnvivioVideo()
+	tr := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 1, 400, 1)[0]
+	bad := mpcdash.DefaultConfig()
+	bad.BufferMax = 0
+	if _, err := mpcdash.Run(video, tr, mpcdash.BB, bad); err == nil {
+		t.Error("zero BufferMax should fail")
+	}
+	bad = mpcdash.DefaultConfig()
+	bad.Horizon = 0
+	if _, err := mpcdash.Run(video, tr, mpcdash.BB, bad); err == nil {
+		t.Error("zero Horizon should fail")
+	}
+	if _, err := mpcdash.Run(video, tr, mpcdash.Algorithm(99), mpcdash.DefaultConfig()); err == nil {
+		t.Error("unknown algorithm should fail")
+	}
+}
+
+func TestPublicAPIOfflineOptimal(t *testing.T) {
+	video := mpcdash.EnvivioVideo()
+	tr := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 1, video.Duration()+120, 17)[0]
+	opt, err := mpcdash.OfflineOptimal(video, tr, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mpcdash.Run(video, tr, mpcdash.RB, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.QoE > opt+math.Abs(opt)*0.02+3000 {
+		t.Errorf("online QoE %v exceeds offline optimum %v", res.QoE, opt)
+	}
+}
+
+func TestPublicAPIVBRVideo(t *testing.T) {
+	video, err := mpcdash.NewVBRVideo([]float64{350, 600, 1000, 2000, 3000}, 30, 4, 0.3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 1, video.Duration()+120, 2)[0]
+	res, err := mpcdash.Run(video, tr, mpcdash.RobustMPC, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 30 {
+		t.Errorf("chunks = %d", len(res.Chunks))
+	}
+}
+
+func TestAlgorithmStrings(t *testing.T) {
+	want := map[mpcdash.Algorithm]string{
+		mpcdash.RB:        "RB",
+		mpcdash.BB:        "BB",
+		mpcdash.FESTIVE:   "FESTIVE",
+		mpcdash.DashJS:    "dash.js",
+		mpcdash.MPC:       "MPC",
+		mpcdash.RobustMPC: "RobustMPC",
+		mpcdash.FastMPC:   "FastMPC",
+		mpcdash.MPCOpt:    "MPC-OPT",
+	}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+	if got := mpcdash.Algorithm(99).String(); got != "Algorithm(99)" {
+		t.Errorf("unknown algorithm string = %q", got)
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr, err := mpcdash.NewTrace("t", 5, []float64{100, 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Name() != "t" || tr.Mean() != 200 || tr.Stddev() != 100 {
+		t.Errorf("accessors: %q %v %v", tr.Name(), tr.Mean(), tr.Stddev())
+	}
+	if _, err := mpcdash.NewTrace("bad", 0, []float64{1}); err == nil {
+		t.Error("zero interval should fail")
+	}
+}
+
+func TestPublicAPIOptimalPlan(t *testing.T) {
+	video := mpcdash.EnvivioVideo()
+	tr := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 1, video.Duration()+120, 23)[0]
+	ts, rates, qoe, err := mpcdash.OptimalPlan(video, tr, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != video.ChunkCount() {
+		t.Fatalf("plan rates = %d, want %d", len(rates), video.ChunkCount())
+	}
+	if ts < 0 || math.IsNaN(qoe) {
+		t.Errorf("ts=%v qoe=%v", ts, qoe)
+	}
+	opt, err := mpcdash.OfflineOptimal(video, tr, mpcdash.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(opt-qoe) > 1e-6 {
+		t.Errorf("plan qoe %v != optimal %v", qoe, opt)
+	}
+}

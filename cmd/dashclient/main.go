@@ -35,6 +35,7 @@ func main() {
 		horizon = flag.Int("horizon", 5, "MPC look-ahead chunks")
 		timeout = flag.Duration("timeout", 30*time.Minute, "session wall-clock timeout")
 		csvOut  = flag.String("csv", "", "write the per-chunk log as CSV to this file")
+		retries = flag.Int("retries", emu.DefaultRetries, "extra download attempts per chunk (0 = fail on first error)")
 	)
 	flag.Parse()
 
@@ -52,6 +53,7 @@ func main() {
 		BufferMax: *bmax,
 		Horizon:   *horizon,
 		TimeScale: *scale,
+		Retries:   *retries,
 	}
 	// The controller needs the manifest, which the client fetches; use the
 	// deferred-binding helper.
@@ -67,6 +69,8 @@ func main() {
 	fmt.Printf("switches      %d\n", metrics.Switches)
 	fmt.Printf("rebuffer      %.2f media-s in %d events\n", metrics.RebufferTime, metrics.RebufferEvents)
 	fmt.Printf("startup       %.2f media-s\n", res.StartupDelay)
+	fmt.Printf("transport     %d retries, %d range resumes, %d lowest-level fallbacks\n",
+		metrics.Retries, metrics.Resumes, metrics.Fallbacks)
 
 	if *csvOut != "" {
 		f, err := os.Create(*csvOut)

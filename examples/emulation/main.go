@@ -45,6 +45,7 @@ func main() {
 		BufferMax:  30,
 		Horizon:    5,
 		TimeScale:  timeScale,
+		Retries:    emu.RetriesDefault,
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -63,6 +64,8 @@ func main() {
 	fmt.Printf("switches     %d\n", metrics.Switches)
 	fmt.Printf("rebuffering  %.2f media-s\n", metrics.RebufferTime)
 	fmt.Printf("startup      %.2f media-s\n", res.StartupDelay)
+	fmt.Printf("transport    %d retries, %d range resumes, %d lowest-level fallbacks\n",
+		metrics.Retries, metrics.Resumes, metrics.Fallbacks)
 
 	fmt.Println("\nper-chunk log (media time):")
 	for _, c := range res.Chunks {

@@ -28,11 +28,32 @@ type Client struct {
 	Horizon    int
 	TimeScale  float64 // media s per wall s (1 = real time)
 	HTTP       *http.Client
+
 	// Retries is the number of additional attempts per chunk after a
-	// failed or truncated download (dropped connection, 5xx). The retry
-	// time counts against the session like any stall, exactly as a real
-	// player experiences it. Default 2.
+	// failed or truncated download (dropped connection, 5xx, timeout).
+	// 0 disables retries entirely — the first failure is final; the
+	// sentinel RetriesDefault (-1, or any negative value) selects
+	// DefaultRetries (2). Retry and backoff time count against the
+	// session like any stall, exactly as a real player experiences it.
 	Retries int
+	// AttemptTimeout caps the wall-clock time of a single download
+	// attempt; an attempt exceeding it is aborted and classified as
+	// retryable (a stalled transfer). 0 means no per-attempt cap.
+	AttemptTimeout time.Duration
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// attempts (base, 2·base, 4·base, … capped at max, each scaled by
+	// deterministic jitter in [0.5, 1.5)). Zero values select 50 ms and
+	// 2 s.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// DisableFallback turns off graceful degradation. By default, a
+	// chunk that exhausts its retries at the chosen level is re-fetched
+	// at the lowest ladder level before the session is failed, and the
+	// event is recorded on the chunk's record.
+	DisableFallback bool
+	// Seed makes the backoff jitter deterministic; 0 selects a fixed
+	// default seed.
+	Seed int64
 }
 
 // Run plays the whole video with the pre-bound Controller and returns the
@@ -65,6 +86,7 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 	if err != nil {
 		return nil, err
 	}
+	engine := c.newDownloader(httpc)
 	ctrl := bind(man)
 	res := &model.SessionResult{
 		Algorithm: ctrl.Name(),
@@ -102,11 +124,17 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 		level := man.Ladder.Clamp(dec.Level)
 
 		wallStart := time.Now()
-		bytes, err := c.fetchChunk(ctx, httpc, level, k+1)
+		bytes, served, fetch, err := engine.FetchChunk(ctx, level, k+1)
 		if err != nil {
 			return nil, err
 		}
+		level = served // graceful degradation may have lowered the level
 		dlWall := time.Since(wallStart).Seconds()
+		if dlWall < minDownloadWall {
+			// An instantaneous loopback download would feed +Inf into the
+			// predictor and poison the harmonic mean; floor the duration.
+			dlWall = minDownloadWall
+		}
 		dl := dlWall * c.TimeScale // media-time download duration
 		sizeKbits := float64(bytes) * 8 / 1000
 		throughput := sizeKbits / dl // kbps in media time == trace units
@@ -139,15 +167,27 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 			Rebuffer:     rebuffer,
 			Wait:         wait,
 			Predicted:    predicted,
+			Retries:      fetch.Retries,
+			Resumes:      fetch.Resumes,
+			Fallback:     fetch.Fallback,
 		})
 		buffer = next
+		prev = level
 		if wait > 0 {
-			// Buffer full: hold off in wall time like a real player.
-			time.Sleep(time.Duration(wait / c.TimeScale * float64(time.Second)))
+			// Buffer full: hold off in wall time like a real player, but
+			// stay responsive to cancellation.
+			if err := sleepCtx(ctx, time.Duration(wait/c.TimeScale*float64(time.Second))); err != nil {
+				return nil, fmt.Errorf("emu: session cancelled waiting on a full buffer after chunk %d: %w", k, err)
+			}
 		}
 	}
 	return res, nil
 }
+
+// minDownloadWall floors the measured wall-clock download time so that an
+// instantaneous loopback transfer cannot yield a zero duration (and an
+// infinite throughput sample).
+const minDownloadWall = 1e-6 // seconds
 
 // fetchManifest downloads and converts the MPD into a model.Manifest.
 func (c *Client) fetchManifest(ctx context.Context, httpc *http.Client) (*model.Manifest, error) {
@@ -165,37 +205,6 @@ func (c *Client) fetchManifest(ctx context.Context, httpc *http.Client) (*model.
 		return nil, fmt.Errorf("emu: manifest rejected: %w", err)
 	}
 	return man, nil
-}
-
-// fetchChunk downloads one media segment and returns its byte count,
-// retrying dropped or truncated transfers up to c.Retries extra times.
-func (c *Client) fetchChunk(ctx context.Context, httpc *http.Client, level, number int) (int64, error) {
-	retries := c.Retries
-	if retries <= 0 {
-		retries = 2
-	}
-	url := fmt.Sprintf("%s/video/%d/%d.m4s", c.BaseURL, level, number)
-	var lastErr error
-	for attempt := 0; attempt <= retries; attempt++ {
-		if err := ctx.Err(); err != nil {
-			return 0, fmt.Errorf("emu: chunk %d level %d: %w", number, level, err)
-		}
-		n, err := c.fetchOnce(ctx, httpc, url)
-		if err == nil {
-			return n, nil
-		}
-		lastErr = err
-	}
-	return 0, fmt.Errorf("emu: chunk %d level %d failed after %d attempts: %w", number, level, retries+1, lastErr)
-}
-
-func (c *Client) fetchOnce(ctx context.Context, httpc *http.Client, url string) (int64, error) {
-	body, err := c.getReader(ctx, httpc, url)
-	if err != nil {
-		return 0, err
-	}
-	defer body.Close()
-	return io.Copy(io.Discard, body)
 }
 
 func (c *Client) get(ctx context.Context, httpc *http.Client, url string) ([]byte, error) {

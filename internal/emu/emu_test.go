@@ -5,12 +5,16 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"mpcdash/internal/abr"
 	"mpcdash/internal/core"
 	"mpcdash/internal/model"
+	"mpcdash/internal/mpd"
 	"mpcdash/internal/predictor"
 	"mpcdash/internal/trace"
 )
@@ -45,6 +49,7 @@ func session(t *testing.T, m *model.Manifest, tr *trace.Trace, scale float64, fa
 		Horizon:    5,
 		TimeScale:  scale,
 		HTTP:       &http.Client{Timeout: 50 * time.Second},
+		Retries:    RetriesDefault,
 	}
 	res, err := client.Run(ctx)
 	if err != nil {
@@ -327,5 +332,344 @@ func TestFaultLatency(t *testing.T) {
 	slow := run(150 * time.Millisecond)
 	if slow <= fast {
 		t.Errorf("latency injection had no effect: %v vs %v", slow, fast)
+	}
+}
+
+// ---- fault matrix -----------------------------------------------------
+//
+// The tests below exercise the hardened download engine against the
+// transport failures of a real CDN path: truncated bodies, stalled
+// transfers, flaky 5xx responses, permanent 404s, and cancellation.
+
+// isChunkRequest selects media-segment requests (not the manifest).
+func isChunkRequest(r *http.Request) bool {
+	return strings.HasPrefix(r.URL.Path, "/video/")
+}
+
+// faultySession runs a session against a server whose listener is wrapped
+// in fault injection, returning the result or error.
+func faultySession(t *testing.T, m *model.Manifest, tr *trace.Trace, scale float64, cfg FaultConfig, tweak func(*Client), wrap func(http.Handler) http.Handler) (*model.SessionResult, error) {
+	t.Helper()
+	srv := NewServer(m)
+	if wrap != nil {
+		srv.Wrap(wrap)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shaped := NewListener(NewFaultyListener(ln, cfg), NewShaper(tr.Scale(scale, scale)))
+	go func() { _ = srv.ServeOn(shaped) }()
+	t.Cleanup(func() { srv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	client := &Client{
+		BaseURL:    "http://" + ln.Addr().String(),
+		Controller: abr.NewFixed(2)(m),
+		Predictor:  predictor.NewHarmonicMean(5),
+		BufferMax:  30,
+		TimeScale:  scale,
+		Retries:    RetriesDefault,
+	}
+	if tweak != nil {
+		tweak(client)
+	}
+	return client.Run(ctx)
+}
+
+// TestTruncatedChunkResumedViaRange is the headline fault-injection case:
+// a connection severed mid-body is detected (the seed client silently
+// counted it as a complete chunk), resumed with an HTTP Range request,
+// and the recorded chunk size matches the manifest exactly.
+func TestTruncatedChunkResumedViaRange(t *testing.T) {
+	m := testVideo(t, 3)
+	tr, err := trace.FromRates("t", 60, []float64{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First connection dies after 40 kB: the manifest (~1 kB) passes, the
+	// first 500 kB chunk is cut mid-body.
+	res, err := faultySession(t, m, tr, 10,
+		FaultConfig{TruncateAfter: 40_000, TruncateConns: 1}, nil, nil)
+	if err != nil {
+		t.Fatalf("session failed despite resume support: %v", err)
+	}
+	var retries, resumes int
+	for _, c := range res.Chunks {
+		want := float64(mpd.ChunkBytes(m, c.Index, c.Level)) * 8 / 1000
+		if math.Abs(c.SizeKbits-want) > 1e-9 {
+			t.Errorf("chunk %d: recorded %v kbits, manifest says %v — truncation under-counted", c.Index, c.SizeKbits, want)
+		}
+		retries += c.Retries
+		resumes += c.Resumes
+	}
+	if retries < 1 {
+		t.Error("no retries recorded for a truncated transfer")
+	}
+	if resumes < 1 {
+		t.Error("truncated transfer was not resumed via Range")
+	}
+	metrics := res.ComputeMetrics(model.QIdentity)
+	if metrics.Retries != retries || metrics.Resumes != resumes {
+		t.Errorf("metrics (%d retries, %d resumes) disagree with chunk records (%d, %d)",
+			metrics.Retries, metrics.Resumes, retries, resumes)
+	}
+}
+
+// TestTruncationDetectedWithoutRetries: with the retry budget at zero and
+// fallback off, a truncated body must surface as an error — the seed
+// client returned success with under-counted bytes.
+func TestTruncationDetectedWithoutRetries(t *testing.T) {
+	m := testVideo(t, 3)
+	tr, err := trace.FromRates("t0", 60, []float64{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = faultySession(t, m, tr, 10,
+		FaultConfig{TruncateAfter: 40_000}, // every connection truncates
+		func(c *Client) { c.Retries = 0; c.DisableFallback = true }, nil)
+	if err == nil {
+		t.Fatal("truncated download reported as success")
+	}
+	if !strings.Contains(err.Error(), "truncated") && !strings.Contains(err.Error(), "EOF") {
+		t.Errorf("error does not identify the truncation: %v", err)
+	}
+}
+
+// TestFlaky5xxRetriedWithBackoff: transient 503s are retried (with
+// backoff) until the server recovers.
+func TestFlaky5xxRetriedWithBackoff(t *testing.T) {
+	m := testVideo(t, 3)
+	tr, err := trace.FromRates("f5", 60, []float64{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const base = 20 * time.Millisecond
+	start := time.Now()
+	res, err := faultySession(t, m, tr, 10, FaultConfig{},
+		func(c *Client) { c.Retries = 5; c.BackoffBase = base },
+		StatusFaults(http.StatusServiceUnavailable, 2, isChunkRequest))
+	if err != nil {
+		t.Fatalf("session failed despite retry budget: %v", err)
+	}
+	metrics := res.ComputeMetrics(model.QIdentity)
+	if metrics.Retries < 2 {
+		t.Errorf("retries = %d, want >= 2 (two injected 503s)", metrics.Retries)
+	}
+	// Two backoffs with jitter >= 0.5: at least base/2 + base = 30 ms.
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Errorf("session finished in %v; backoff apparently skipped", elapsed)
+	}
+}
+
+// Test404FailsFast: a permanent error must not burn the retry budget.
+func Test404FailsFast(t *testing.T) {
+	m := testVideo(t, 3)
+	srv := NewServer(m)
+	var requests atomic.Int64
+	srv.Wrap(CountRequests(&requests, isChunkRequest))
+	tr, err := trace.FromRates("p", 60, []float64{50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := srv.Start(NewShaper(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client := &Client{BaseURL: base, Retries: 5}
+	d := client.newDownloader(http.DefaultClient)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_, _, st, err := d.FetchChunk(ctx, 0, 999) // beyond the chunk count
+	if err == nil {
+		t.Fatal("fetching a nonexistent chunk succeeded")
+	}
+	if !strings.Contains(err.Error(), "404") {
+		t.Errorf("error does not carry the status: %v", err)
+	}
+	if got := requests.Load(); got != 1 {
+		t.Errorf("%d requests for a permanent 404, want exactly 1", got)
+	}
+	if st.Attempts != 1 || st.Retries != 0 {
+		t.Errorf("stats = %+v, want a single attempt", st)
+	}
+}
+
+// TestFallbackToLowestLevel: when every level above the bottom rung is
+// persistently broken, the engine degrades to level 0 instead of failing
+// the session, and records the event.
+func TestFallbackToLowestLevel(t *testing.T) {
+	m := testVideo(t, 4)
+	tr, err := trace.FromRates("fb", 60, []float64{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	brokenUpperLevels := func(r *http.Request) bool {
+		return isChunkRequest(r) && !strings.HasPrefix(r.URL.Path, "/video/0/")
+	}
+	res, err := faultySession(t, m, tr, 10, FaultConfig{},
+		func(c *Client) {
+			c.Controller = abr.NewFixed(4)(m)
+			c.Retries = 1
+			c.BackoffBase = time.Millisecond
+		},
+		StatusFaults(http.StatusServiceUnavailable, -1, brokenUpperLevels))
+	if err != nil {
+		t.Fatalf("session failed instead of degrading: %v", err)
+	}
+	for _, c := range res.Chunks {
+		if !c.Fallback {
+			t.Errorf("chunk %d: no fallback recorded", c.Index)
+		}
+		if c.Level != 0 || c.Bitrate != m.Ladder[0] {
+			t.Errorf("chunk %d served at level %d (%v kbps), want lowest", c.Index, c.Level, c.Bitrate)
+		}
+	}
+	metrics := res.ComputeMetrics(model.QIdentity)
+	if metrics.Fallbacks != len(res.Chunks) {
+		t.Errorf("Fallbacks = %d, want %d", metrics.Fallbacks, len(res.Chunks))
+	}
+	if metrics.Retries < len(res.Chunks) {
+		t.Errorf("Retries = %d, want >= %d (budget exhausted per chunk)", metrics.Retries, len(res.Chunks))
+	}
+}
+
+// TestZeroRetriesRespected: Retries = 0 must genuinely mean "fail on the
+// first error" (the seed coerced it back to 2).
+func TestZeroRetriesRespected(t *testing.T) {
+	m := testVideo(t, 3)
+	tr, err := trace.FromRates("z", 60, []float64{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = faultySession(t, m, tr, 10, FaultConfig{},
+		func(c *Client) { c.Retries = 0; c.DisableFallback = true },
+		StatusFaults(http.StatusServiceUnavailable, 1, isChunkRequest))
+	if err == nil {
+		t.Fatal("zero-retry session survived an injected 503")
+	}
+}
+
+// TestStalledTransferRescuedByAttemptTimeout: a transfer that hangs
+// mid-body is abandoned after AttemptTimeout and completed on a retry.
+func TestStalledTransferRescuedByAttemptTimeout(t *testing.T) {
+	m := testVideo(t, 3)
+	tr, err := trace.FromRates("s", 60, []float64{20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := faultySession(t, m, tr, 10,
+		FaultConfig{StallAfter: 40_000, StallFor: 5 * time.Second, StallConns: 1},
+		func(c *Client) {
+			c.AttemptTimeout = 300 * time.Millisecond
+			c.Retries = 3
+			c.HTTP = &http.Client{} // no global timeout; the per-attempt cap governs
+		}, nil)
+	if err != nil {
+		t.Fatalf("session failed despite per-attempt timeout: %v", err)
+	}
+	metrics := res.ComputeMetrics(model.QIdentity)
+	if metrics.Retries < 1 {
+		t.Error("stalled transfer completed without a retry, stall apparently not injected")
+	}
+}
+
+// TestBufferFullWaitCancellable: cancelling the context during a
+// buffer-full wait must abort the session promptly (the seed slept
+// uninterruptibly).
+func TestBufferFullWaitCancellable(t *testing.T) {
+	m := testVideo(t, 6)
+	tr, err := trace.FromRates("w", 60, []float64{50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(m)
+	base, err := srv.Start(NewShaper(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// BufferMax 5 with 4 s chunks on a fast link forces multi-second
+	// buffer-full waits at TimeScale 1.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	client := &Client{
+		BaseURL:    base,
+		Controller: abr.NewFixed(0)(m),
+		Predictor:  predictor.NewHarmonicMean(5),
+		BufferMax:  5,
+		TimeScale:  1,
+	}
+	start := time.Now()
+	_, err = client.Run(ctx)
+	if err == nil {
+		t.Fatal("session survived cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; buffer-full wait is not context-aware", elapsed)
+	}
+}
+
+// TestServerRangeRequests: the origin honours "bytes=N-" resumes and
+// rejects unsatisfiable offsets.
+func TestServerRangeRequests(t *testing.T) {
+	m := testVideo(t, 3)
+	srv := NewServer(m)
+	tr, err := trace.FromRates("r", 60, []float64{100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := srv.Start(NewShaper(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	size := mpd.ChunkBytes(m, 0, 1)
+
+	get := func(rangeHeader string) *http.Response {
+		req, err := http.NewRequest(http.MethodGet, base+"/video/1/1.m4s", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rangeHeader != "" {
+			req.Header.Set("Range", rangeHeader)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+
+	full := get("")
+	if full.StatusCode != http.StatusOK || full.ContentLength != int64(size) {
+		t.Errorf("full GET: status %d, length %d, want 200/%d", full.StatusCode, full.ContentLength, size)
+	}
+
+	part := get("bytes=1000-")
+	if part.StatusCode != http.StatusPartialContent {
+		t.Fatalf("ranged GET: status %d, want 206", part.StatusCode)
+	}
+	if part.ContentLength != int64(size-1000) {
+		t.Errorf("ranged GET: length %d, want %d", part.ContentLength, size-1000)
+	}
+	wantCR := "bytes 1000-" + strconv.Itoa(size-1) + "/" + strconv.Itoa(size)
+	if cr := part.Header.Get("Content-Range"); cr != wantCR {
+		t.Errorf("Content-Range = %q, want %q", cr, wantCR)
+	}
+
+	beyond := get("bytes=" + strconv.Itoa(size) + "-")
+	if beyond.StatusCode != http.StatusRequestedRangeNotSatisfiable {
+		t.Errorf("out-of-range GET: status %d, want 416", beyond.StatusCode)
+	}
+
+	// Unsupported range forms degrade to a full 200 response.
+	closed := get("bytes=0-99")
+	if closed.StatusCode != http.StatusOK || closed.ContentLength != int64(size) {
+		t.Errorf("closed-range GET: status %d, length %d, want full 200", closed.StatusCode, closed.ContentLength)
 	}
 }

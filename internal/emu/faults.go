@@ -3,15 +3,18 @@ package emu
 import (
 	"math/rand"
 	"net"
+	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // FaultConfig injects transport-level impairments into the shaped link,
 // turning the clean loopback testbed into a hostile one: added latency per
-// write burst and randomly severed connections. Real CDN paths fail this
-// way, and a player that cannot ride out a dropped connection never
-// survives outside the lab.
+// write burst, randomly severed connections, deterministic mid-body
+// truncation, and write stalls. Real CDN paths fail in all of these ways,
+// and a player that cannot ride out a dropped connection never survives
+// outside the lab.
 type FaultConfig struct {
 	// Latency delays the first write of every connection (handshake-ish
 	// cost) and each subsequent write quantum by Latency/10.
@@ -21,6 +24,22 @@ type FaultConfig struct {
 	DropRate float64
 	// Seed makes the fault sequence deterministic.
 	Seed int64
+
+	// TruncateAfter, when positive, severs a connection once it has
+	// written that many bytes — a transfer cut mid-body, the classic
+	// truncated download. TruncateConns bounds how many connections are
+	// truncated (0 = every connection), so a client that reconnects can
+	// eventually succeed.
+	TruncateAfter int
+	TruncateConns int
+
+	// StallAfter, when positive, freezes a connection's writes for
+	// StallFor once it has written StallAfter bytes — a hung transfer
+	// that only a per-attempt timeout rescues. StallConns bounds how
+	// many connections stall (0 = every connection).
+	StallAfter int
+	StallFor   time.Duration
+	StallConns int
 }
 
 // FaultyListener wraps a listener with fault injection on accepted conns.
@@ -28,8 +47,10 @@ type FaultyListener struct {
 	net.Listener
 	cfg FaultConfig
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	mu        sync.Mutex
+	rng       *rand.Rand
+	truncated int // connections already truncated
+	stalled   int // connections already stalled
 }
 
 // NewFaultyListener injects the configured faults into every connection
@@ -58,16 +79,46 @@ func (l *FaultyListener) roll() float64 {
 	return l.rng.Float64()
 }
 
+// claimTruncate reports whether another connection may be truncated,
+// consuming one slot from the budget.
+func (l *FaultyListener) claimTruncate() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.TruncateConns > 0 && l.truncated >= l.cfg.TruncateConns {
+		return false
+	}
+	l.truncated++
+	return true
+}
+
+// claimStall reports whether another connection may stall, consuming one
+// slot from the budget.
+func (l *FaultyListener) claimStall() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cfg.StallConns > 0 && l.stalled >= l.cfg.StallConns {
+		return false
+	}
+	l.stalled++
+	return true
+}
+
 // faultyConn applies the parent's fault model to writes.
 type faultyConn struct {
 	net.Conn
-	parent *FaultyListener
-	warmed bool
+	parent  *FaultyListener
+	warmed  bool
+	written int  // payload bytes this connection has written
+	cut     bool // truncation fired; all further writes fail
+	stalled bool // stall already fired on this connection
 }
 
 // Write implements net.Conn.
 func (c *faultyConn) Write(p []byte) (int, error) {
 	cfg := c.parent.cfg
+	if c.cut {
+		return 0, net.ErrClosed
+	}
 	if !c.warmed {
 		c.warmed = true
 		if cfg.Latency > 0 {
@@ -80,5 +131,58 @@ func (c *faultyConn) Write(p []byte) (int, error) {
 		c.Conn.Close()
 		return 0, net.ErrClosed
 	}
-	return c.Conn.Write(p)
+	if cfg.StallAfter > 0 && !c.stalled && c.written+len(p) > cfg.StallAfter && c.parent.claimStall() {
+		c.stalled = true
+		time.Sleep(cfg.StallFor)
+	}
+	if cfg.TruncateAfter > 0 && c.written+len(p) > cfg.TruncateAfter {
+		// Deliver exactly up to the truncation point, then sever.
+		if c.parent.claimTruncate() {
+			n := cfg.TruncateAfter - c.written
+			if n > 0 {
+				w, _ := c.Conn.Write(p[:n])
+				c.written += w
+			}
+			c.cut = true
+			c.Conn.Close()
+			return 0, net.ErrClosed
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.written += n
+	return n, err
+}
+
+// StatusFaults is HTTP-level fault injection: middleware (for Server.Wrap)
+// that answers matching requests with the given status code instead of
+// forwarding them. Count bounds how many requests are failed (negative =
+// every matching request); Match selects which requests are eligible (nil
+// = all). It is safe for concurrent use.
+func StatusFaults(status int, count int, match func(*http.Request) bool) func(http.Handler) http.Handler {
+	var failed atomic.Int64
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if match == nil || match(r) {
+				if count < 0 || int(failed.Add(1)) <= count {
+					http.Error(w, http.StatusText(status), status)
+					return
+				}
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+}
+
+// CountRequests is pass-through middleware that counts requests selected
+// by match (nil = all) into n. Tests use it to assert how many attempts a
+// client actually made.
+func CountRequests(n *atomic.Int64, match func(*http.Request) bool) func(http.Handler) http.Handler {
+	return func(inner http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if match == nil || match(r) {
+				n.Add(1)
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
 }

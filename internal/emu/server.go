@@ -32,6 +32,13 @@ func NewServer(m *model.Manifest) *Server {
 	return s
 }
 
+// Wrap replaces the server's handler with mw(current). Call before Start;
+// it is how tests splice HTTP-level fault injection (see StatusFaults)
+// into the request path.
+func (s *Server) Wrap(mw func(http.Handler) http.Handler) {
+	s.http.Handler = mw(s.http.Handler)
+}
+
 // Start begins serving on a loopback port with all responses shaped by s's
 // trace, returning the base URL (e.g. "http://127.0.0.1:41234").
 func (s *Server) Start(shaper *Shaper) (string, error) {
@@ -87,21 +94,57 @@ func (s *Server) handleChunk(w http.ResponseWriter, r *http.Request) {
 	}
 	size := mpd.ChunkBytes(s.Manifest, number-1, level)
 	w.Header().Set("Content-Type", "video/iso.segment")
-	w.Header().Set("Content-Length", strconv.Itoa(size))
+	w.Header().Set("Accept-Ranges", "bytes")
+
+	// Honour single-range "bytes=N-" requests so the client can resume a
+	// truncated transfer instead of re-downloading the whole chunk.
+	offset, ok := parseRangeStart(r.Header.Get("Range"), size)
+	if !ok {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes */%d", size))
+		http.Error(w, "unsatisfiable range", http.StatusRequestedRangeNotSatisfiable)
+		return
+	}
+	remaining := size - offset
+	w.Header().Set("Content-Length", strconv.Itoa(remaining))
+	if offset > 0 {
+		w.Header().Set("Content-Range", fmt.Sprintf("bytes %d-%d/%d", offset, size-1, size))
+		w.WriteHeader(http.StatusPartialContent)
+	}
 
 	// Deterministic payload; written in slices to cooperate with shaping.
 	buf := make([]byte, 32*1024)
 	for i := range buf {
 		buf[i] = byte(i % 251)
 	}
-	for size > 0 {
-		n := size
+	for remaining > 0 {
+		n := remaining
 		if n > len(buf) {
 			n = len(buf)
 		}
 		if _, err := w.Write(buf[:n]); err != nil {
 			return // client went away
 		}
-		size -= n
+		remaining -= n
 	}
+}
+
+// parseRangeStart interprets a Range header against a body of the given
+// size. An empty header or one in an unsupported form (multi-range,
+// suffix-range) yields offset 0 — a full response, the behaviour of a
+// server that ignores Range. A well-formed "bytes=N-" beyond the end is
+// unsatisfiable (ok = false).
+func parseRangeStart(h string, size int) (offset int, ok bool) {
+	spec, found := strings.CutPrefix(h, "bytes=")
+	start, open := strings.CutSuffix(spec, "-")
+	if !found || !open || strings.ContainsAny(start, ",-") {
+		return 0, true
+	}
+	n, err := strconv.Atoi(start)
+	if err != nil || n < 0 {
+		return 0, true
+	}
+	if n >= size {
+		return 0, false
+	}
+	return n, true
 }

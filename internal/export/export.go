@@ -32,6 +32,9 @@ type MetricsJSON struct {
 	RebufferTime     float64 `json:"rebuffer_s"`
 	RebufferEvents   int     `json:"rebuffer_events"`
 	StartupDelay     float64 `json:"startup_delay_s"`
+	Retries          int     `json:"retries"`
+	Resumes          int     `json:"resumes"`
+	Fallbacks        int     `json:"fallbacks"`
 }
 
 // ChunkJSON mirrors model.ChunkRecord.
@@ -48,6 +51,9 @@ type ChunkJSON struct {
 	Rebuffer     float64 `json:"rebuffer_s"`
 	Wait         float64 `json:"wait_s"`
 	Predicted    float64 `json:"predicted_kbps"`
+	Retries      int     `json:"retries,omitempty"`
+	Resumes      int     `json:"resumes,omitempty"`
+	Fallback     bool    `json:"fallback,omitempty"`
 }
 
 // toJSON converts a session under the given QoE configuration.
@@ -64,6 +70,9 @@ func toJSON(res *model.SessionResult, w model.Weights, q model.QualityFunc) Sess
 			RebufferTime:     m.RebufferTime,
 			RebufferEvents:   m.RebufferEvents,
 			StartupDelay:     m.StartupDelay,
+			Retries:          m.Retries,
+			Resumes:          m.Resumes,
+			Fallbacks:        m.Fallbacks,
 		},
 		Chunks: make([]ChunkJSON, len(res.Chunks)),
 	}
@@ -81,6 +90,9 @@ func toJSON(res *model.SessionResult, w model.Weights, q model.QualityFunc) Sess
 			Rebuffer:     c.Rebuffer,
 			Wait:         c.Wait,
 			Predicted:    c.Predicted,
+			Retries:      c.Retries,
+			Resumes:      c.Resumes,
+			Fallback:     c.Fallback,
 		}
 	}
 	return out
@@ -109,7 +121,7 @@ func ReadJSON(r io.Reader) (*SessionJSON, error) {
 var csvHeader = []string{
 	"index", "level", "bitrate_kbps", "size_kbits", "start_s", "download_s",
 	"throughput_kbps", "buffer_before_s", "buffer_after_s", "rebuffer_s",
-	"wait_s", "predicted_kbps",
+	"wait_s", "predicted_kbps", "retries", "resumes", "fallback",
 }
 
 // WriteCSV writes the per-chunk log as CSV with a header row.
@@ -124,6 +136,7 @@ func WriteCSV(w io.Writer, res *model.SessionResult) error {
 			strconv.Itoa(c.Index), strconv.Itoa(c.Level), f(c.Bitrate), f(c.SizeKbits),
 			f(c.StartTime), f(c.DownloadTime), f(c.Throughput), f(c.BufferBefore),
 			f(c.BufferAfter), f(c.Rebuffer), f(c.Wait), f(c.Predicted),
+			strconv.Itoa(c.Retries), strconv.Itoa(c.Resumes), strconv.FormatBool(c.Fallback),
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("export: csv: %w", err)
@@ -168,6 +181,15 @@ func ReadCSV(r io.Reader) ([]model.ChunkRecord, error) {
 			if *dst, err = strconv.ParseFloat(row[2+j], 64); err != nil {
 				return nil, fmt.Errorf("export: csv row %d col %d: %w", i+1, 2+j, err)
 			}
+		}
+		if c.Retries, err = strconv.Atoi(row[12]); err != nil {
+			return nil, fmt.Errorf("export: csv row %d: bad retries: %w", i+1, err)
+		}
+		if c.Resumes, err = strconv.Atoi(row[13]); err != nil {
+			return nil, fmt.Errorf("export: csv row %d: bad resumes: %w", i+1, err)
+		}
+		if c.Fallback, err = strconv.ParseBool(row[14]); err != nil {
+			return nil, fmt.Errorf("export: csv row %d: bad fallback: %w", i+1, err)
 		}
 		out = append(out, c)
 	}

@@ -81,9 +81,11 @@ func TestReadCSVErrors(t *testing.T) {
 	cases := []string{
 		"",
 		"a,b\n1,2\n",
-		strings.Join(csvHeader, ",") + "\nnot-an-int,0,0,0,0,0,0,0,0,0,0,0\n",
-		strings.Join(csvHeader, ",") + "\n0,zero,0,0,0,0,0,0,0,0,0,0\n",
-		strings.Join(csvHeader, ",") + "\n0,0,x,0,0,0,0,0,0,0,0,0\n",
+		strings.Join(csvHeader, ",") + "\nnot-an-int,0,0,0,0,0,0,0,0,0,0,0,0,0,false\n",
+		strings.Join(csvHeader, ",") + "\n0,zero,0,0,0,0,0,0,0,0,0,0,0,0,false\n",
+		strings.Join(csvHeader, ",") + "\n0,0,x,0,0,0,0,0,0,0,0,0,0,0,false\n",
+		strings.Join(csvHeader, ",") + "\n0,0,0,0,0,0,0,0,0,0,0,0,x,0,false\n",
+		strings.Join(csvHeader, ",") + "\n0,0,0,0,0,0,0,0,0,0,0,0,0,0,maybe\n",
 	}
 	for i, in := range cases {
 		if _, err := ReadCSV(strings.NewReader(in)); err == nil {

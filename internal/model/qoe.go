@@ -36,6 +36,12 @@ type ChunkRecord struct {
 	Rebuffer     float64 // (d_k/C_k - B_k)+ seconds
 	Wait         float64 // Δt_k seconds (buffer-full wait)
 	Predicted    float64 // throughput prediction used for this chunk, 0 if none
+
+	// Transport-health counters, populated by the emulated HTTP client
+	// (always zero in the pure simulator, where downloads cannot fail).
+	Retries  int  // extra download attempts needed beyond the first
+	Resumes  int  // attempts that resumed a truncated transfer via HTTP Range
+	Fallback bool // served at the lowest level after the chosen level's retries ran out
 }
 
 // SessionResult is a completed playback session: the startup delay chosen or
@@ -56,6 +62,9 @@ type Metrics struct {
 	RebufferTime     float64 // total seconds of stall
 	RebufferEvents   int     // number of chunks that stalled
 	StartupDelay     float64 // Ts seconds
+	Retries          int     // total extra download attempts (transport health)
+	Resumes          int     // total Range-resumed transfers
+	Fallbacks        int     // chunks served via lowest-level fallback
 }
 
 // ComputeMetrics aggregates the per-factor quality measures of a session.
@@ -72,6 +81,11 @@ func (r *SessionResult) ComputeMetrics(q QualityFunc) Metrics {
 		m.RebufferTime += c.Rebuffer
 		if c.Rebuffer > 0 {
 			m.RebufferEvents++
+		}
+		m.Retries += c.Retries
+		m.Resumes += c.Resumes
+		if c.Fallback {
+			m.Fallbacks++
 		}
 		if i > 0 {
 			prev := r.Chunks[i-1]

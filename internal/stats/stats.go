@@ -9,6 +9,15 @@ import (
 	"sort"
 )
 
+// Sum returns the sum of xs (0 for an empty slice).
+func Sum(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum
+}
+
 // Mean returns the arithmetic mean, or NaN for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify
+.PHONY: build test race vet verify trace-demo
 
 build:
 	$(GO) build ./...
@@ -11,9 +11,10 @@ vet:
 test:
 	$(GO) test ./...
 
-# race runs the concurrent emulation/runner paths under the race detector.
+# race runs the concurrent emulation/runner/metrics paths under the race
+# detector.
 race:
-	$(GO) test -race ./internal/emu/... ./internal/runner/... ./internal/multiplayer/...
+	$(GO) test -race ./internal/obs/... ./internal/emu/... ./internal/runner/... ./internal/multiplayer/...
 
 # verify is the full pre-merge gate: build, vet, and the whole test suite
 # under the race detector.
@@ -21,3 +22,8 @@ verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+
+# trace-demo plays the loopback emulation and writes a Chrome trace-event
+# timeline; open trace_demo.json in chrome://tracing or ui.perfetto.dev.
+trace-demo:
+	$(GO) run ./examples/emulation -trace-out trace_demo.json

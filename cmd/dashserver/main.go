@@ -7,7 +7,7 @@
 // Usage:
 //
 //	dashserver [-addr 127.0.0.1:8080] [-dataset hsdpa] [-seed 1]
-//	           [-chunks 65] [-scale 1]
+//	           [-chunks 65] [-scale 1] [-metrics-addr 127.0.0.1:9090]
 package main
 
 import (
@@ -20,16 +20,18 @@ import (
 
 	"mpcdash/internal/emu"
 	"mpcdash/internal/model"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/trace"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8080", "listen address")
-		dataset = flag.String("dataset", "fcc", "link trace model: fcc, hsdpa, synthetic")
-		seed    = flag.Int64("seed", 1, "trace seed")
-		chunks  = flag.Int("chunks", 65, "video length in 4-second chunks")
-		scale   = flag.Float64("scale", 1, "time-compression factor (media s per wall s)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		dataset     = flag.String("dataset", "fcc", "link trace model: fcc, hsdpa, synthetic")
+		seed        = flag.Int64("seed", 1, "trace seed")
+		chunks      = flag.Int("chunks", 65, "video length in 4-second chunks")
+		scale       = flag.Float64("scale", 1, "time-compression factor (media s per wall s)")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -56,6 +58,16 @@ func main() {
 		fatal(err)
 	}
 	srv := emu.NewServer(m)
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		srv.Instrument(reg)
+		obs.PublishExpvar("mpcdash", reg)
+		dbg, err := obs.ServeDebug(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("dashserver: metrics at http://%s/metrics, profiles at http://%s/debug/pprof/\n", dbg, dbg)
+	}
 	shaped := emu.NewListener(ln, emu.NewShaper(tr.Scale(*scale, *scale)))
 
 	fmt.Printf("dashserver: serving %d-chunk video at http://%s/manifest.mpd\n", *chunks, ln.Addr())

@@ -5,6 +5,7 @@
 //
 //	mpcdash [-alg RobustMPC] [-dataset fcc|hsdpa|synthetic] [-seed N]
 //	        [-trace file.txt] [-chunks N] [-verbose]
+//	        [-trace-out session.trace.json] [-metrics-addr 127.0.0.1:9090]
 //
 // The trace comes either from -trace (text format: "duration kbps" per
 // line) or from a synthetic dataset generator selected by -dataset/-seed.
@@ -18,20 +19,23 @@ import (
 	"strings"
 
 	"mpcdash"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/trace"
 	"mpcdash/internal/viz"
 )
 
 func main() {
 	var (
-		algName = flag.String("alg", "RobustMPC", "algorithm: RB, BB, FESTIVE, dash.js, MPC, RobustMPC, FastMPC, MPC-OPT")
-		dataset = flag.String("dataset", "fcc", "synthetic dataset when no -trace: fcc, hsdpa, synthetic")
-		seed    = flag.Int64("seed", 1, "trace generator seed")
-		file    = flag.String("trace", "", "trace file (text format) instead of a generated trace")
-		chunks  = flag.Int("chunks", 65, "video length in 4-second chunks")
-		verbose = flag.Bool("verbose", false, "print the per-chunk log")
-		jsonOut = flag.String("json", "", "write the full session log as JSON to this file")
-		csvOut  = flag.String("csv", "", "write the per-chunk log as CSV to this file")
+		algName     = flag.String("alg", "RobustMPC", "algorithm: RB, BB, FESTIVE, dash.js, MPC, RobustMPC, FastMPC, MPC-OPT")
+		dataset     = flag.String("dataset", "fcc", "synthetic dataset when no -trace: fcc, hsdpa, synthetic")
+		seed        = flag.Int64("seed", 1, "trace generator seed")
+		file        = flag.String("trace", "", "trace file (text format) instead of a generated trace")
+		chunks      = flag.Int("chunks", 65, "video length in 4-second chunks")
+		verbose     = flag.Bool("verbose", false, "print the per-chunk log")
+		jsonOut     = flag.String("json", "", "write the full session log as JSON to this file")
+		csvOut      = flag.String("csv", "", "write the per-chunk log as CSV to this file")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of the session to this file")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -57,7 +61,19 @@ func main() {
 		fatal(err)
 	}
 
-	res, err := mpcdash.Run(video, tr, alg, mpcdash.DefaultConfig())
+	cfg := mpcdash.DefaultConfig()
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.PublishExpvar("mpcdash", reg)
+		dbg, err := obs.ServeDebug(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics at http://%s/metrics, profiles at http://%s/debug/pprof/\n", dbg, dbg)
+		cfg.Obs = obs.NewRecorder(reg, nil)
+	}
+
+	res, err := mpcdash.Run(video, tr, alg, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -101,6 +117,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("per-chunk CSV written to %s\n", *csvOut)
+	}
+	if *traceOut != "" {
+		if err := writeFile(*traceOut, res.WriteTrace); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written to %s — open in chrome://tracing or https://ui.perfetto.dev\n", *traceOut)
 	}
 }
 

@@ -3,23 +3,29 @@
 // a RobustMPC-driven DASH client, time-compressed 20× so the 80-second
 // session finishes in about 4 seconds of wall time.
 //
-//	go run ./examples/emulation
+//	go run ./examples/emulation [-trace-out session.trace.json]
 package main
 
 import (
 	"context"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"mpcdash/internal/core"
 	"mpcdash/internal/emu"
 	"mpcdash/internal/model"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/predictor"
 	"mpcdash/internal/trace"
 )
 
 func main() {
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON of the session to this file")
+	flag.Parse()
+
 	const timeScale = 20 // media seconds per wall second
 
 	// A 20-chunk (80 s) video keeps the demo short.
@@ -47,6 +53,14 @@ func main() {
 		TimeScale:  timeScale,
 		Retries:    emu.RetriesDefault,
 	}
+	var traceFile *os.File
+	if *traceOut != "" {
+		traceFile, err = os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		client.Obs = obs.NewRecorder(nil, obs.NewChromeTrace(traceFile))
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
@@ -54,6 +68,15 @@ func main() {
 	res, err := client.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if traceFile != nil {
+		if err := client.Obs.Close(); err != nil {
+			log.Fatal(err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("trace written to %s — open in chrome://tracing or https://ui.perfetto.dev\n", *traceOut)
 	}
 	fmt.Printf("played %d chunks (%.0f media-seconds) in %.1f wall-seconds\n\n",
 		len(res.Chunks), manifest.Duration(), time.Since(start).Seconds())

@@ -11,6 +11,7 @@ import (
 	"mpcdash/internal/abr"
 	"mpcdash/internal/model"
 	"mpcdash/internal/mpd"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/predictor"
 )
 
@@ -54,6 +55,10 @@ type Client struct {
 	// Seed makes the backoff jitter deterministic; 0 selects a fixed
 	// default seed.
 	Seed int64
+
+	// Obs receives per-decision events and session metrics. Nil disables
+	// observability at the cost of one pointer test per chunk.
+	Obs *obs.Recorder
 }
 
 // Run plays the whole video with the pre-bound Controller and returns the
@@ -113,6 +118,7 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 		if lb, ok := c.Predictor.(predictor.LowerBounder); ok {
 			lower = lb.LowerBound(c.Horizon)
 		}
+		decStart := time.Now()
 		dec := ctrl.Decide(abr.State{
 			Chunk:    k,
 			Buffer:   buffer,
@@ -121,6 +127,7 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 			Forecast: forecast,
 			Lower:    lower,
 		})
+		solverWall := time.Since(decStart)
 		level := man.Ladder.Clamp(dec.Level)
 
 		wallStart := time.Now()
@@ -154,6 +161,19 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 		if len(forecast) > 0 {
 			predicted = forecast[0]
 		}
+		// Per-attempt transport timing in media time, so the retry and
+		// backoff cost inside the chunk's download span stays visible.
+		attempts := make([]model.AttemptRecord, len(fetch.AttemptLog))
+		for i, a := range fetch.AttemptLog {
+			attempts[i] = model.AttemptRecord{
+				Start:    a.Start.Sub(start).Seconds() * c.TimeScale,
+				Duration: a.Duration.Seconds() * c.TimeScale,
+				Backoff:  a.Backoff.Seconds() * c.TimeScale,
+				Level:    a.Level,
+				Resumed:  a.Resumed,
+				Error:    a.Err,
+			}
+		}
 		res.Chunks = append(res.Chunks, model.ChunkRecord{
 			Index:        k,
 			Level:        level,
@@ -167,10 +187,37 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 			Rebuffer:     rebuffer,
 			Wait:         wait,
 			Predicted:    predicted,
+			DecisionTime: solverWall.Seconds(),
 			Retries:      fetch.Retries,
 			Resumes:      fetch.Resumes,
 			Fallback:     fetch.Fallback,
+			Attempts:     attempts,
 		})
+		if c.Obs.Enabled() {
+			c.Obs.Decision(obs.DecisionEvent{
+				Algorithm:     res.Algorithm,
+				Chunk:         k,
+				Time:          t,
+				Buffer:        buffer,
+				Prev:          prev,
+				Predicted:     predicted,
+				Candidates:    man.Ladder,
+				Level:         level,
+				Bitrate:       man.Ladder[level],
+				SolverWall:    solverWall,
+				DownloadStart: t,
+				DownloadDur:   dl,
+				Actual:        throughput,
+				SizeKbits:     sizeKbits,
+				Rebuffer:      rebuffer,
+				Wait:          wait,
+				BufferAfter:   next,
+				Retries:       fetch.Retries,
+				Resumes:       fetch.Resumes,
+				Fallback:      fetch.Fallback,
+				Attempts:      attempts,
+			})
+		}
 		buffer = next
 		prev = level
 		if wait > 0 {

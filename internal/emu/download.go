@@ -46,14 +46,33 @@ type FetchStats struct {
 	BytesWasted  int64 // bytes re-downloaded because a resume was not possible
 	Fallback     bool  // served at the lowest level after exhausting retries
 	FallbackFrom int   // the level originally requested, when Fallback is set
+
+	// AttemptLog times every HTTP request in wall-clock terms, in the
+	// order issued, so retry and backoff time inside a chunk is
+	// attributable in traces rather than vanishing into the chunk total.
+	AttemptLog []Attempt
 }
 
-// add accumulates per-level stats into a chunk-wide total.
+// Attempt is the wall-clock record of one HTTP request within a chunk
+// download, including the backoff that preceded it.
+type Attempt struct {
+	Level    int           // ladder level the request asked for
+	Start    time.Time     // when the request was issued (after any backoff)
+	Duration time.Duration // request + body-read time
+	Backoff  time.Duration // backoff sleep immediately before Start (0 on first attempts)
+	Resumed  bool          // the request resumed a truncated body via Range
+	Err      string        // "" when the attempt delivered the remaining body
+}
+
+// add accumulates per-level stats into a chunk-wide total, appending o's
+// attempts after s's (callers pass the later stage as o to keep the log
+// chronological).
 func (s *FetchStats) add(o FetchStats) {
 	s.Attempts += o.Attempts
 	s.Retries += o.Retries
 	s.Resumes += o.Resumes
 	s.BytesWasted += o.BytesWasted
+	s.AttemptLog = append(s.AttemptLog, o.AttemptLog...)
 }
 
 // statusError is a non-2xx HTTP response. 5xx (and 429) are transient
@@ -167,18 +186,18 @@ func (d *downloader) FetchChunk(ctx context.Context, level, number int) (int64, 
 	// the lowest level too, so only transient exhaustion falls back.
 	if d.fallback && level > 0 && retryable(ctx, err) {
 		n2, st2, err2 := d.fetchLevel(ctx, 0, number)
-		st2.add(st)
-		if st2.Attempts > 0 {
+		st.add(st2) // requested-level attempts first, fallback's after
+		if st.Attempts > 0 {
 			// Every attempt beyond the chunk's very first counts as a
 			// retry, including the fallback level's first attempt.
-			st2.Retries = st2.Attempts - 1
+			st.Retries = st.Attempts - 1
 		}
 		if err2 == nil {
-			st2.Fallback = true
-			st2.FallbackFrom = level
-			return n2, 0, st2, nil
+			st.Fallback = true
+			st.FallbackFrom = level
+			return n2, 0, st, nil
 		}
-		return 0, level, st2, fmt.Errorf("emu: chunk %d: lowest-level fallback after %v also failed: %w", number, err, err2)
+		return 0, level, st, fmt.Errorf("emu: chunk %d: lowest-level fallback after %v also failed: %w", number, err, err2)
 	}
 	return 0, level, st, fmt.Errorf("emu: chunk %d level %d: %w", number, level, err)
 }
@@ -193,9 +212,11 @@ func (d *downloader) fetchLevel(ctx context.Context, level, number int) (int64, 
 		last error
 	)
 	for attempt := 0; attempt <= d.retries; attempt++ {
+		var backoff time.Duration
 		if attempt > 0 {
 			st.Retries++
-			if err := sleepCtx(ctx, d.backoff(attempt)); err != nil {
+			backoff = d.backoff(attempt)
+			if err := sleepCtx(ctx, backoff); err != nil {
 				return 0, st, err
 			}
 		}
@@ -207,7 +228,18 @@ func (d *downloader) fetchLevel(ctx context.Context, level, number int) (int64, 
 		if resumed {
 			st.Resumes++
 		}
+		aStart := time.Now()
 		n, total, err := d.attempt(ctx, url, got)
+		record := func(errText string) {
+			st.AttemptLog = append(st.AttemptLog, Attempt{
+				Level:    level,
+				Start:    aStart,
+				Duration: time.Since(aStart),
+				Backoff:  backoff,
+				Resumed:  resumed,
+				Err:      errText,
+			})
+		}
 		if total >= 0 {
 			want = total
 		}
@@ -215,6 +247,7 @@ func (d *downloader) fetchLevel(ctx context.Context, level, number int) (int64, 
 		case err == nil && (want < 0 || got+n == want):
 			// Complete: either verified against Content-Length or the
 			// server sent no length and closed cleanly.
+			record("")
 			return got + n, st, nil
 		case err == nil:
 			// Read ended without error but short of Content-Length.
@@ -233,6 +266,7 @@ func (d *downloader) fetchLevel(ctx context.Context, level, number int) (int64, 
 			} else {
 				got += n
 			}
+			record(err.Error())
 			last = err
 			if !retryable(ctx, err) {
 				return 0, st, err

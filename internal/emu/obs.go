@@ -1,0 +1,81 @@
+package emu
+
+import (
+	"net/http"
+	"strings"
+	"time"
+
+	"mpcdash/internal/obs"
+)
+
+// Server-side observability: request counters, a server-side download
+// latency histogram (which, behind a shaped listener, measures the shaped
+// transfer the client experiences) and a per-request delivery throughput
+// histogram for chunk requests.
+
+// Server metric names, exported-by-convention via internal/obs constants
+// so dashboards and tests agree on the spelling.
+const (
+	MetricServerRequests       = "mpcdash_server_requests_total"
+	MetricServerRequestSeconds = "mpcdash_server_request_seconds"
+	MetricServerBytesTotal     = "mpcdash_server_bytes_total"
+	MetricServerThroughputKbps = "mpcdash_server_throughput_kbps"
+)
+
+// Instrument registers request metrics on reg and splices the measuring
+// middleware into the server's handler chain. Call before Start/ServeOn,
+// like Wrap.
+func (s *Server) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	type handlerMetrics struct {
+		requests *obs.Counter
+		latency  *obs.Histogram
+	}
+	perHandler := make(map[string]handlerMetrics, 3)
+	for _, h := range []string{"manifest", "chunk", "other"} {
+		perHandler[h] = handlerMetrics{
+			requests: reg.Counter(MetricServerRequests, "HTTP requests served.", "handler", h),
+			latency:  reg.Histogram(MetricServerRequestSeconds, "Wall-clock request duration (shaped transfer included).", obs.DefTimeBuckets, "handler", h),
+		}
+	}
+	bytes := reg.Counter(MetricServerBytesTotal, "Response bytes written.")
+	throughput := reg.Histogram(MetricServerThroughputKbps, "Delivered throughput per chunk request in kbps.", obs.DefKbpsBuckets)
+
+	s.Wrap(func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handler := "other"
+			switch {
+			case r.URL.Path == "/manifest.mpd":
+				handler = "manifest"
+			case strings.HasPrefix(r.URL.Path, "/video/"):
+				handler = "chunk"
+			}
+			cw := &countingWriter{ResponseWriter: w}
+			begin := time.Now()
+			next.ServeHTTP(cw, r)
+			elapsed := time.Since(begin).Seconds()
+
+			m := perHandler[handler]
+			m.requests.Inc()
+			m.latency.Observe(elapsed)
+			bytes.Add(uint64(cw.n))
+			if handler == "chunk" && elapsed > 0 && cw.n > 0 {
+				throughput.Observe(float64(cw.n) * 8 / 1000 / elapsed)
+			}
+		})
+	})
+}
+
+// countingWriter counts response body bytes.
+type countingWriter struct {
+	http.ResponseWriter
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n += int64(n)
+	return n, err
+}

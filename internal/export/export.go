@@ -51,9 +51,24 @@ type ChunkJSON struct {
 	Rebuffer     float64 `json:"rebuffer_s"`
 	Wait         float64 `json:"wait_s"`
 	Predicted    float64 `json:"predicted_kbps"`
+	DecisionTime float64 `json:"decision_s,omitempty"`
 	Retries      int     `json:"retries,omitempty"`
 	Resumes      int     `json:"resumes,omitempty"`
 	Fallback     bool    `json:"fallback,omitempty"`
+
+	// Attempts is the per-attempt transport timing recorded by the
+	// emulated client's download engine; empty for simulator sessions.
+	Attempts []AttemptJSON `json:"attempts,omitempty"`
+}
+
+// AttemptJSON mirrors model.AttemptRecord.
+type AttemptJSON struct {
+	Start    float64 `json:"start_s"`
+	Duration float64 `json:"duration_s"`
+	Backoff  float64 `json:"backoff_s,omitempty"`
+	Level    int     `json:"level"`
+	Resumed  bool    `json:"resumed,omitempty"`
+	Error    string  `json:"error,omitempty"`
 }
 
 // toJSON converts a session under the given QoE configuration.
@@ -90,9 +105,20 @@ func toJSON(res *model.SessionResult, w model.Weights, q model.QualityFunc) Sess
 			Rebuffer:     c.Rebuffer,
 			Wait:         c.Wait,
 			Predicted:    c.Predicted,
+			DecisionTime: c.DecisionTime,
 			Retries:      c.Retries,
 			Resumes:      c.Resumes,
 			Fallback:     c.Fallback,
+		}
+		for _, a := range c.Attempts {
+			out.Chunks[i].Attempts = append(out.Chunks[i].Attempts, AttemptJSON{
+				Start:    a.Start,
+				Duration: a.Duration,
+				Backoff:  a.Backoff,
+				Level:    a.Level,
+				Resumed:  a.Resumed,
+				Error:    a.Error,
+			})
 		}
 	}
 	return out
@@ -121,7 +147,7 @@ func ReadJSON(r io.Reader) (*SessionJSON, error) {
 var csvHeader = []string{
 	"index", "level", "bitrate_kbps", "size_kbits", "start_s", "download_s",
 	"throughput_kbps", "buffer_before_s", "buffer_after_s", "rebuffer_s",
-	"wait_s", "predicted_kbps", "retries", "resumes", "fallback",
+	"wait_s", "predicted_kbps", "decision_s", "retries", "resumes", "fallback",
 }
 
 // WriteCSV writes the per-chunk log as CSV with a header row.
@@ -135,7 +161,7 @@ func WriteCSV(w io.Writer, res *model.SessionResult) error {
 		row := []string{
 			strconv.Itoa(c.Index), strconv.Itoa(c.Level), f(c.Bitrate), f(c.SizeKbits),
 			f(c.StartTime), f(c.DownloadTime), f(c.Throughput), f(c.BufferBefore),
-			f(c.BufferAfter), f(c.Rebuffer), f(c.Wait), f(c.Predicted),
+			f(c.BufferAfter), f(c.Rebuffer), f(c.Wait), f(c.Predicted), f(c.DecisionTime),
 			strconv.Itoa(c.Retries), strconv.Itoa(c.Resumes), strconv.FormatBool(c.Fallback),
 		}
 		if err := cw.Write(row); err != nil {
@@ -175,20 +201,20 @@ func ReadCSV(r io.Reader) ([]model.ChunkRecord, error) {
 		floats := []*float64{
 			&c.Bitrate, &c.SizeKbits, &c.StartTime, &c.DownloadTime,
 			&c.Throughput, &c.BufferBefore, &c.BufferAfter, &c.Rebuffer,
-			&c.Wait, &c.Predicted,
+			&c.Wait, &c.Predicted, &c.DecisionTime,
 		}
 		for j, dst := range floats {
 			if *dst, err = strconv.ParseFloat(row[2+j], 64); err != nil {
 				return nil, fmt.Errorf("export: csv row %d col %d: %w", i+1, 2+j, err)
 			}
 		}
-		if c.Retries, err = strconv.Atoi(row[12]); err != nil {
+		if c.Retries, err = strconv.Atoi(row[13]); err != nil {
 			return nil, fmt.Errorf("export: csv row %d: bad retries: %w", i+1, err)
 		}
-		if c.Resumes, err = strconv.Atoi(row[13]); err != nil {
+		if c.Resumes, err = strconv.Atoi(row[14]); err != nil {
 			return nil, fmt.Errorf("export: csv row %d: bad resumes: %w", i+1, err)
 		}
-		if c.Fallback, err = strconv.ParseBool(row[14]); err != nil {
+		if c.Fallback, err = strconv.ParseBool(row[15]); err != nil {
 			return nil, fmt.Errorf("export: csv row %d: bad fallback: %w", i+1, err)
 		}
 		out = append(out, c)

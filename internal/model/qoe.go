@@ -37,11 +37,34 @@ type ChunkRecord struct {
 	Wait         float64 // Δt_k seconds (buffer-full wait)
 	Predicted    float64 // throughput prediction used for this chunk, 0 if none
 
+	// DecisionTime is the controller's wall-clock cost for this chunk's
+	// decision in real seconds — the Sec 7.4 overhead quantity, recorded
+	// per decision so a regression can be pinned to a specific chunk.
+	DecisionTime float64
+
 	// Transport-health counters, populated by the emulated HTTP client
 	// (always zero in the pure simulator, where downloads cannot fail).
 	Retries  int  // extra download attempts needed beyond the first
 	Resumes  int  // attempts that resumed a truncated transfer via HTTP Range
 	Fallback bool // served at the lowest level after the chosen level's retries ran out
+
+	// Attempts is the per-attempt transport timing of this chunk's
+	// download, in session (media) time — one entry per HTTP request the
+	// download engine issued, so retry and backoff time is attributable
+	// inside the chunk's download span. Nil in the pure simulator.
+	Attempts []AttemptRecord
+}
+
+// AttemptRecord times one HTTP attempt within a chunk download, including
+// the backoff that preceded it. Times are media-seconds on the session
+// clock, like every other duration in the record.
+type AttemptRecord struct {
+	Start    float64 // media-s since session start when the request was issued
+	Duration float64 // media-s the attempt lasted
+	Backoff  float64 // media-s of backoff wait immediately before Start
+	Level    int     // ladder level the attempt requested
+	Resumed  bool    // the attempt resumed a truncated body via HTTP Range
+	Error    string  // "" when the attempt delivered the remaining body
 }
 
 // SessionResult is a completed playback session: the startup delay chosen or

@@ -1,0 +1,382 @@
+// Package obs is the observability layer of the repro: a stdlib-only,
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) exposed over expvar and Prometheus text format, plus
+// structured per-chunk decision tracing with a Chrome trace-event
+// exporter. The paper's evaluation (Sec 7) and its FastMPC deployment
+// argument both rest on measured behaviour — per-chunk bitrate decisions,
+// rebuffer events, predictor error — and this package makes that
+// behaviour visible while a session runs, not only in end-of-session
+// aggregates.
+//
+// Every instrument method is safe on a nil receiver, so instrumented code
+// never branches on "is observability on": a disabled layer is a nil
+// *Recorder (or nil instrument) and each call collapses to a pointer test.
+package obs
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// desc identifies one metric: a family name plus an optional, rendered
+// label set (`k="v",k2="v2"` — no braces).
+type desc struct {
+	name   string
+	labels string
+}
+
+// id is the registry key: name plus rendered labels.
+func (d desc) id() string {
+	if d.labels == "" {
+		return d.name
+	}
+	return d.name + "{" + d.labels + "}"
+}
+
+// renderLabels turns alternating key/value pairs into the canonical
+// rendered form, sorted by key so the same set always produces the same
+// registry id.
+func renderLabels(pairs []string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	if len(pairs)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		kvs = append(kvs, kv{pairs[i], pairs[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteString(`"`)
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// Counter is a monotonically increasing count. All methods are safe on a
+// nil receiver (no-ops), and safe for concurrent use.
+type Counter struct {
+	d desc
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous float value. All methods are safe on a nil
+// receiver (no-ops), and safe for concurrent use.
+type Gauge struct {
+	d    desc
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative upper
+// bounds with `le` (less-or-equal) semantics as in Prometheus; an implicit
+// +Inf bucket catches everything else. All methods are safe on a nil
+// receiver (no-ops), and safe for concurrent use.
+type Histogram struct {
+	d       desc
+	bounds  []float64 // strictly ascending upper bounds, +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample. NaN samples are dropped: they carry no
+// ordering information and would poison the sum forever.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// First bound >= v; linear scan is faster than sort.Search for the
+	// short bucket lists used here and allocation-free either way.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshotBuckets returns the per-bucket (non-cumulative) counts,
+// including the +Inf overflow bucket as the final element.
+func (h *Histogram) snapshotBuckets() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start, each factor times the previous.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n linearly spaced bucket bounds starting at start
+// with the given width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic("obs: LinearBuckets needs width > 0, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// Default bucket layouts for the session metrics: download/decision wall
+// times from 1 ms to ~65 s, throughputs from 100 kbps to ~100 Mbps.
+var (
+	DefTimeBuckets = ExpBuckets(0.001, 2, 17)
+	DefKbpsBuckets = ExpBuckets(100, 2, 11)
+)
+
+// Registry holds a process's metrics. Instrument constructors are
+// idempotent: asking twice for the same name+labels returns the same
+// instrument, so callers may re-create handles freely (e.g. once per
+// session). The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]any // *Counter | *Gauge | *Histogram, keyed by desc.id()
+	help    map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		metrics: make(map[string]any),
+		help:    make(map[string]string),
+	}
+}
+
+// lookup returns the existing metric for d, or registers the one built by
+// mk. The help string is recorded per family name (first writer wins).
+func (r *Registry) lookup(d desc, help string, mk func() any) any {
+	r.mu.RLock()
+	m, ok := r.metrics[d.id()]
+	r.mu.RUnlock()
+	if ok {
+		return m
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if m, ok := r.metrics[d.id()]; ok {
+		return m
+	}
+	m = mk()
+	r.metrics[d.id()] = m
+	if _, ok := r.help[d.name]; !ok {
+		r.help[d.name] = help
+	}
+	return m
+}
+
+// Counter returns the counter with the given name, help text and optional
+// alternating key/value label pairs, creating it on first use. It panics
+// if the name is already registered as a different metric kind — that is
+// a programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	d := desc{name: name, labels: renderLabels(labels)}
+	m := r.lookup(d, help, func() any { return &Counter{d: d} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic("obs: metric " + d.id() + " already registered with a different kind")
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	d := desc{name: name, labels: renderLabels(labels)}
+	m := r.lookup(d, help, func() any { return &Gauge{d: d} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic("obs: metric " + d.id() + " already registered with a different kind")
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name and bucket upper
+// bounds (ascending; +Inf is implicit), creating it on first use. The
+// bucket layout of an existing histogram wins: callers asking again with
+// different buckets get the registered instrument unchanged.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	d := desc{name: name, labels: renderLabels(labels)}
+	m := r.lookup(d, help, func() any {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic("obs: histogram " + name + " buckets must be strictly ascending")
+			}
+		}
+		bounds := append([]float64(nil), buckets...)
+		return &Histogram{
+			d:      d,
+			bounds: bounds,
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic("obs: metric " + d.id() + " already registered with a different kind")
+	}
+	return h
+}
+
+// sortedIDs returns all metric ids, ordered by family name then labels so
+// exposition output is deterministic and families stay contiguous.
+func (r *Registry) sorted() []any {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ids := make([]string, 0, len(r.metrics))
+	for id := range r.metrics {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]any, len(ids))
+	for i, id := range ids {
+		out[i] = r.metrics[id]
+	}
+	return out
+}
+
+// Snapshot returns a plain-data view of every metric, suitable for expvar
+// (JSON) export: counters and gauges map to their values, histograms to
+// {count, sum, buckets}.
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	out := make(map[string]any)
+	for _, m := range r.sorted() {
+		switch m := m.(type) {
+		case *Counter:
+			out[m.d.id()] = m.Value()
+		case *Gauge:
+			out[m.d.id()] = m.Value()
+		case *Histogram:
+			buckets := make(map[string]uint64, len(m.bounds)+1)
+			counts := m.snapshotBuckets()
+			cum := uint64(0)
+			for i, b := range m.bounds {
+				cum += counts[i]
+				buckets[fmtFloat(b)] = cum
+			}
+			cum += counts[len(m.bounds)]
+			buckets["+Inf"] = cum
+			out[m.d.id()] = map[string]any{
+				"count":   cum,
+				"sum":     m.Sum(),
+				"buckets": buckets,
+			}
+		}
+	}
+	return out
+}

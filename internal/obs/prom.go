@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// This file renders the registry in the Prometheus text exposition format
+// (version 0.0.4): `# HELP` / `# TYPE` headers per family, cumulative
+// `_bucket{le="..."}` lines plus `_sum` / `_count` for histograms. The
+// output is deterministic — families sorted by name, label sets sorted
+// within a family — so it can be golden-tested byte for byte.
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes every registered metric to w in the Prometheus
+// text exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.sorted() {
+		var d desc
+		var kind string
+		switch m := m.(type) {
+		case *Counter:
+			d, kind = m.d, "counter"
+		case *Gauge:
+			d, kind = m.d, "gauge"
+		case *Histogram:
+			d, kind = m.d, "histogram"
+		}
+		if d.name != lastFamily {
+			r.mu.RLock()
+			help := r.help[d.name]
+			r.mu.RUnlock()
+			if help != "" {
+				bw.WriteString("# HELP " + d.name + " " + help + "\n")
+			}
+			bw.WriteString("# TYPE " + d.name + " " + kind + "\n")
+			lastFamily = d.name
+		}
+		switch m := m.(type) {
+		case *Counter:
+			bw.WriteString(d.id() + " " + strconv.FormatUint(m.Value(), 10) + "\n")
+		case *Gauge:
+			bw.WriteString(d.id() + " " + fmtFloat(m.Value()) + "\n")
+		case *Histogram:
+			writeHistogram(bw, m)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogram emits the cumulative bucket series, sum and count of one
+// histogram.
+func writeHistogram(bw *bufio.Writer, h *Histogram) {
+	counts := h.snapshotBuckets()
+	// The le label joins any existing labels; it must be part of the same
+	// brace group.
+	series := func(le string) string {
+		if h.d.labels == "" {
+			return h.d.name + `_bucket{le="` + le + `"}`
+		}
+		return h.d.name + "_bucket{" + h.d.labels + `,le="` + le + `"}`
+	}
+	suffix := func(s string) string {
+		if h.d.labels == "" {
+			return h.d.name + s
+		}
+		return h.d.name + s + "{" + h.d.labels + "}"
+	}
+	cum := uint64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		bw.WriteString(series(fmtFloat(b)) + " " + strconv.FormatUint(cum, 10) + "\n")
+	}
+	// Derive count from the same bucket snapshot so the series stays
+	// self-consistent under concurrent Observe calls.
+	cum += counts[len(h.bounds)]
+	bw.WriteString(series("+Inf") + " " + strconv.FormatUint(cum, 10) + "\n")
+	bw.WriteString(suffix("_sum") + " " + fmtFloat(h.Sum()) + "\n")
+	bw.WriteString(suffix("_count") + " " + strconv.FormatUint(cum, 10) + "\n")
+}
+
+// Handler serves the registry at GET /metrics in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

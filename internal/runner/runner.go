@@ -12,6 +12,7 @@ import (
 
 	"mpcdash/internal/abr"
 	"mpcdash/internal/model"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/optimal"
 	"mpcdash/internal/predictor"
 	"mpcdash/internal/sim"
@@ -57,6 +58,12 @@ type Runner struct {
 
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+
+	// Obs receives per-decision events from every session (stamped with
+	// the session's index within its dataset) plus runner-level progress
+	// metrics: sessions completed per algorithm, busy workers, and the
+	// per-session mean download throughput. Nil disables observability.
+	Obs *obs.Recorder
 
 	mu       sync.Mutex
 	optCache map[*trace.Trace]float64
@@ -105,10 +112,20 @@ func (r *Runner) OptimalQoE(tr *trace.Trace) (float64, error) {
 
 // RunSession plays one trace with one algorithm.
 func (r *Runner) RunSession(alg Algorithm, tr *trace.Trace) (Outcome, error) {
+	return r.runSession(alg, tr, 0)
+}
+
+// runSession plays one trace; session is the index within a dataset run,
+// stamped on decision events so concurrent sessions stay separable in a
+// shared trace sink.
+func (r *Runner) runSession(alg Algorithm, tr *trace.Trace, session int) (Outcome, error) {
 	ctrl := alg.Factory(r.Manifest)
 	pred := alg.Predictor(tr)
 	cfg := r.Sim
 	cfg.Startup = alg.Startup
+	if r.Obs != nil {
+		cfg.Obs = r.Obs.WithSession(session)
+	}
 	res, err := sim.Run(r.Manifest, tr, ctrl, pred, cfg)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("runner: %s on %s: %w", alg.Name, tr.Name, err)
@@ -140,6 +157,14 @@ func (r *Runner) RunDataset(alg Algorithm, traces []*trace.Trace) ([]Outcome, er
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	// Runner-level progress instruments; every *obs method is nil-safe,
+	// so a disabled registry costs nothing in the worker loop.
+	var (
+		reg      = r.Obs.Registry()
+		done     = reg.Counter("mpcdash_runner_sessions_total", "Completed sessions.", "algorithm", alg.Name)
+		busy     = reg.Gauge("mpcdash_runner_workers_busy", "Workers currently simulating a session.")
+		sessThpt = reg.Histogram("mpcdash_runner_session_kbps", "Per-session mean download throughput in kbps.", obs.DefKbpsBuckets)
+	)
 	outs := make([]Outcome, len(traces))
 	errs := make([]error, len(traces))
 	var wg sync.WaitGroup
@@ -149,7 +174,13 @@ func (r *Runner) RunDataset(alg Algorithm, traces []*trace.Trace) ([]Outcome, er
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outs[i], errs[i] = r.RunSession(alg, traces[i])
+				busy.Add(1)
+				outs[i], errs[i] = r.runSession(alg, traces[i], i)
+				busy.Add(-1)
+				done.Inc()
+				if errs[i] == nil {
+					sessThpt.Observe(meanThroughput(outs[i].Result))
+				}
 			}
 		}()
 	}
@@ -178,6 +209,18 @@ func (r *Runner) RunAll(algs []Algorithm, traces []*trace.Trace) (map[string][]O
 		result[alg.Name] = outs
 	}
 	return result, nil
+}
+
+// meanThroughput is the session's average realized download throughput.
+func meanThroughput(res *model.SessionResult) float64 {
+	if res == nil || len(res.Chunks) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, c := range res.Chunks {
+		sum += c.Throughput
+	}
+	return sum / float64(len(res.Chunks))
 }
 
 // sessionPredError is the per-session average absolute percentage

@@ -10,9 +10,11 @@ package sim
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"mpcdash/internal/abr"
 	"mpcdash/internal/model"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/predictor"
 	"mpcdash/internal/trace"
 )
@@ -39,6 +41,10 @@ type Config struct {
 	Horizon      int           // forecast length requested from the predictor (paper: 5)
 	Startup      StartupPolicy // how Ts is chosen
 	FixedStartup float64       // Ts when Startup == StartupFixed
+
+	// Obs receives per-decision events and session metrics. Nil disables
+	// observability at the cost of one pointer test per chunk.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig is the paper's player configuration.
@@ -82,7 +88,9 @@ func Run(m *model.Manifest, tr *trace.Trace, ctrl abr.Controller, pred predictor
 			Lower:    lower,
 			Startup:  k == 0 && cfg.Startup == StartupController,
 		}
+		decStart := time.Now()
 		dec := ctrl.Decide(st)
+		solverWall := time.Since(decStart)
 		level := m.Ladder.Clamp(dec.Level)
 
 		size := m.ChunkSize(k, level)
@@ -131,7 +139,29 @@ func Run(m *model.Manifest, tr *trace.Trace, ctrl abr.Controller, pred predictor
 			Rebuffer:     rebuffer,
 			Wait:         wait,
 			Predicted:    predicted,
+			DecisionTime: solverWall.Seconds(),
 		})
+		if cfg.Obs.Enabled() {
+			cfg.Obs.Decision(obs.DecisionEvent{
+				Algorithm:     res.Algorithm,
+				Chunk:         k,
+				Time:          t,
+				Buffer:        buffer,
+				Prev:          prev,
+				Predicted:     predicted,
+				Candidates:    m.Ladder,
+				Level:         level,
+				Bitrate:       m.Ladder[level],
+				SolverWall:    solverWall,
+				DownloadStart: t,
+				DownloadDur:   dl,
+				Actual:        throughput,
+				SizeKbits:     size,
+				Rebuffer:      rebuffer,
+				Wait:          wait,
+				BufferAfter:   next,
+			})
+		}
 
 		t += dl + wait
 		buffer = next

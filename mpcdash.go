@@ -23,6 +23,7 @@ import (
 
 	"mpcdash/internal/export"
 	"mpcdash/internal/model"
+	"mpcdash/internal/obs"
 	"mpcdash/internal/optimal"
 	"mpcdash/internal/runner"
 	"mpcdash/internal/sim"
@@ -156,6 +157,13 @@ type Config struct {
 	BufferMax float64 // playout buffer cap in seconds (paper: 30)
 	Horizon   int     // MPC look-ahead in chunks (paper: 5)
 	Weights   Weights // QoE preference
+
+	// Obs attaches the observability layer (metrics registry and/or
+	// decision-trace sink) to every session run with this config. The
+	// field is typed on the module-internal obs package: it is wired by
+	// this module's commands (via -metrics-addr / -trace-out); external
+	// importers observe sessions through Result.WriteTrace instead.
+	Obs *obs.Recorder
 }
 
 // DefaultConfig is the paper's configuration.
@@ -290,6 +298,15 @@ func (r *Result) WriteCSV(w io.Writer) error {
 	return export.WriteCSV(w, r.session)
 }
 
+// WriteTrace writes the session as a Chrome trace-event JSON document:
+// open the file in chrome://tracing or https://ui.perfetto.dev to see the
+// full timeline — one span per chunk download, the controller's solver
+// time, stalls, buffer-full waits, and counter tracks for buffer level
+// and predicted vs. actual throughput.
+func (r *Result) WriteTrace(w io.Writer) error {
+	return obs.WriteChromeTrace(w, obs.EventsFromSession(r.session))
+}
+
 func toResult(o runner.Outcome, w Weights) *Result {
 	r := &Result{
 		Algorithm: o.Algorithm,
@@ -329,6 +346,7 @@ func newRunner(v *Video, cfg Config, normalize bool) *runner.Runner {
 	r.Weights = cfg.Weights.internal()
 	r.Sim = sim.Config{BufferMax: cfg.BufferMax, Horizon: cfg.Horizon}
 	r.Normalize = normalize
+	r.Obs = cfg.Obs
 	return r
 }
 

@@ -1,10 +1,13 @@
 package mpcdash_test
 
 import (
+	"bytes"
+	"encoding/json"
 	"math"
 	"testing"
 
 	"mpcdash"
+	"mpcdash/internal/obs"
 )
 
 func TestPublicAPIRun(t *testing.T) {
@@ -181,5 +184,49 @@ func TestPublicAPIOptimalPlan(t *testing.T) {
 	}
 	if math.Abs(opt-qoe) > 1e-6 {
 		t.Errorf("plan qoe %v != optimal %v", qoe, opt)
+	}
+}
+
+func TestPublicAPIObservability(t *testing.T) {
+	video := mpcdash.EnvivioVideo()
+	tr := mpcdash.GenerateDataset(mpcdash.DatasetFCC, 1, video.Duration()+120, 11)[0]
+
+	cfg := mpcdash.DefaultConfig()
+	reg := obs.NewRegistry()
+	cfg.Obs = obs.NewRecorder(reg, nil)
+	res, err := mpcdash.Run(video, tr, mpcdash.RobustMPC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(obs.MetricChunksTotal, "").Value(); got != uint64(len(res.Chunks)) {
+		t.Errorf("%s = %d, want %d", obs.MetricChunksTotal, got, len(res.Chunks))
+	}
+	if got := reg.Histogram(obs.MetricDecisionSeconds, "", obs.DefTimeBuckets).Count(); got != uint64(len(res.Chunks)) {
+		t.Errorf("decision histogram count = %d, want %d", got, len(res.Chunks))
+	}
+
+	// The offline trace export must produce a valid trace-event document
+	// with one download span per chunk.
+	var buf bytes.Buffer
+	if err := res.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Tid int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("WriteTrace output is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, e := range doc.TraceEvents {
+		if e.Ph == "X" && e.Tid == 3 { // network track
+			spans++
+		}
+	}
+	if spans != len(res.Chunks) {
+		t.Errorf("download spans = %d, want %d", spans, len(res.Chunks))
 	}
 }

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify trace-demo
+.PHONY: build test race vet verify trace-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,7 @@ test:
 # race runs the concurrent emulation/runner/metrics paths under the race
 # detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/emu/... ./internal/runner/... ./internal/multiplayer/...
+	$(GO) test -race ./internal/obs/... ./internal/emu/... ./internal/runner/... ./internal/multiplayer/... ./internal/fleet/...
 
 # verify is the full pre-merge gate: build, vet, and the whole test suite
 # under the race detector.
@@ -27,3 +27,9 @@ verify:
 # timeline; open trace_demo.json in chrome://tracing or ui.perfetto.dev.
 trace-demo:
 	$(GO) run ./examples/emulation -trace-out trace_demo.json
+
+# fleet-demo drives the built-in 10k-session scenario (RobustMPC vs
+# buffer-based populations over an fcc+hsdpa trace mix) on the simulated
+# backend and writes the per-population JSON report.
+fleet-demo:
+	$(GO) run ./cmd/fleet -sessions 10000 -report fleet_report.json

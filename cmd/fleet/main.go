@@ -1,0 +1,131 @@
+// Command fleet drives large populations of simulated or emulated player
+// sessions from a scenario file and streams their outcomes into compact
+// per-population aggregates.
+//
+// Usage:
+//
+//	fleet [-scenario scenario.json | -sessions N] [-backend sim|emu]
+//	      [-seed N] [-workers N] [-report out.json]
+//	      [-metrics-addr 127.0.0.1:9090] [-print-scenario]
+//
+// Without -scenario a built-in two-population demo scenario sized by
+// -sessions is used; -print-scenario writes that scenario as JSON to
+// stdout (a starting point for custom files) and exits. SIGINT drains
+// gracefully: launching stops, in-flight sessions finish and are
+// aggregated, and the partial report is still printed.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"mpcdash/internal/fleet"
+	"mpcdash/internal/obs"
+)
+
+func main() {
+	var (
+		scenarioFile  = flag.String("scenario", "", "scenario JSON file (empty = built-in demo scenario)")
+		sessions      = flag.Int("sessions", 10000, "total sessions for the built-in scenario (ignored with -scenario)")
+		backend       = flag.String("backend", fleet.BackendSim, "session backend: sim (scales to 100k) or emu (real loopback HTTP)")
+		seed          = flag.Int64("seed", 0, "override the scenario seed (0 = keep the file's seed)")
+		workers       = flag.Int("workers", 0, "worker goroutines per population (0 = auto)")
+		emuTimeScale  = flag.Float64("emu-timescale", 0, "wall-clock compression for the emu backend (0 = default)")
+		reportOut     = flag.String("report", "", "write the JSON report to this file")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = disabled)")
+		printScenario = flag.Bool("print-scenario", false, "print the effective scenario as JSON and exit")
+	)
+	flag.Parse()
+
+	sc := fleet.DefaultScenario(*sessions)
+	if *scenarioFile != "" {
+		var err error
+		sc, err = fleet.LoadScenario(*scenarioFile)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *printScenario {
+		if err := sc.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	opt := fleet.Options{
+		Backend:      *backend,
+		Workers:      *workers,
+		EmuTimeScale: *emuTimeScale,
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		obs.PublishExpvar("fleet", reg)
+		dbg, err := obs.ServeDebug(*metricsAddr, reg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics at http://%s/metrics, profiles at http://%s/debug/pprof/\n", dbg, dbg)
+		opt.Registry = reg
+	}
+
+	f, err := fleet.New(sc, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	var total int
+	for _, p := range sc.Populations {
+		total += p.Sessions
+	}
+	fmt.Printf("scenario %q: %d sessions in %d populations on the %s backend (seed %d)\n",
+		sc.Name, total, len(sc.Populations), *backend, sc.Seed)
+
+	start := time.Now()
+	rep, runErr := f.Run(ctx)
+	elapsed := time.Since(start)
+	if runErr == context.Canceled {
+		fmt.Println("interrupted: drained in-flight sessions, reporting the partial run")
+	} else if runErr != nil {
+		fatal(runErr)
+	}
+
+	fmt.Println()
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fatal(err)
+	}
+	var completed int64
+	for _, p := range rep.Populations {
+		completed += p.Completed
+	}
+	fmt.Printf("\n%d sessions in %.2f s (%.0f sessions/s)\n",
+		completed, elapsed.Seconds(), float64(completed)/elapsed.Seconds())
+
+	if *reportOut != "" {
+		b, err := rep.JSON()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*reportOut, b, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("report written to %s\n", *reportOut)
+	}
+	if runErr != nil {
+		os.Exit(130)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fleet: %v\n", err)
+	os.Exit(1)
+}

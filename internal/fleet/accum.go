@@ -1,0 +1,316 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file is the streaming-aggregation layer: per-population statistics
+// that stay O(populations) in memory no matter how many sessions a
+// scenario launches. Means and variances use Welford's algorithm (with
+// Chan's parallel-merge formula), quantiles a fixed-bin histogram, and
+// the orderedTally at the bottom makes the floating-point reduction
+// deterministic despite out-of-order worker completion.
+
+// Welford accumulates count/mean/M2 (plus exact extremes) in one pass.
+// It is mergeable: two accumulators built from disjoint streams combine
+// into the accumulator of the concatenated stream.
+type Welford struct {
+	N    int64
+	Mean float64
+	M2   float64 // sum of squared deviations from the running mean
+	Min  float64
+	Max  float64
+}
+
+// Observe folds one sample in.
+func (w *Welford) Observe(x float64) {
+	if w.N == 0 {
+		w.Min, w.Max = x, x
+	} else {
+		w.Min = math.Min(w.Min, x)
+		w.Max = math.Max(w.Max, x)
+	}
+	w.N++
+	d := x - w.Mean
+	w.Mean += d / float64(w.N)
+	w.M2 += d * (x - w.Mean)
+}
+
+// Merge folds another accumulator in (Chan et al.'s pairwise update).
+func (w *Welford) Merge(o Welford) {
+	if o.N == 0 {
+		return
+	}
+	if w.N == 0 {
+		*w = o
+		return
+	}
+	n := w.N + o.N
+	d := o.Mean - w.Mean
+	w.M2 += o.M2 + d*d*float64(w.N)*float64(o.N)/float64(n)
+	w.Mean += d * float64(o.N) / float64(n)
+	w.N = n
+	w.Min = math.Min(w.Min, o.Min)
+	w.Max = math.Max(w.Max, o.Max)
+}
+
+// Variance returns the population variance (0 for fewer than 2 samples).
+func (w Welford) Variance() float64 {
+	if w.N < 2 {
+		return 0
+	}
+	return w.M2 / float64(w.N)
+}
+
+// Std returns the population standard deviation.
+func (w Welford) Std() float64 { return math.Sqrt(w.Variance()) }
+
+// Hist is a fixed-bin histogram over [Lo, Hi): Bins equal-width bins plus
+// underflow/overflow tails. Quantile estimates are exact to one bin width
+// for in-range data, and the layout is fixed at construction so two
+// histograms of the same layout merge by bin-wise addition.
+type Hist struct {
+	Lo, Hi float64
+	Bins   []int64
+	Under  int64 // samples < Lo
+	Over   int64 // samples >= Hi
+	N      int64
+}
+
+// NewHist builds a histogram with the given range and bin count.
+func NewHist(lo, hi float64, bins int) *Hist {
+	if !(hi > lo) || bins <= 0 {
+		panic(fmt.Sprintf("fleet: invalid histogram layout [%v,%v)/%d", lo, hi, bins))
+	}
+	return &Hist{Lo: lo, Hi: hi, Bins: make([]int64, bins)}
+}
+
+// Observe records one sample. NaN samples are dropped.
+func (h *Hist) Observe(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.N++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / h.width())
+		if i >= len(h.Bins) { // float edge case at the upper bound
+			i = len(h.Bins) - 1
+		}
+		h.Bins[i]++
+	}
+}
+
+func (h *Hist) width() float64 { return (h.Hi - h.Lo) / float64(len(h.Bins)) }
+
+// Merge adds another histogram of the identical layout.
+func (h *Hist) Merge(o *Hist) error {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Bins) != len(h.Bins) {
+		return fmt.Errorf("fleet: merging histograms with different layouts: [%v,%v)/%d vs [%v,%v)/%d",
+			h.Lo, h.Hi, len(h.Bins), o.Lo, o.Hi, len(o.Bins))
+	}
+	for i, c := range o.Bins {
+		h.Bins[i] += c
+	}
+	h.Under += o.Under
+	h.Over += o.Over
+	h.N += o.N
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the containing bin. Samples in the underflow (overflow) tail are
+// reported as Lo (Hi), so tail quantiles are clamped to the layout range.
+// It returns NaN for an empty histogram.
+func (h *Hist) Quantile(q float64) float64 {
+	if h.N == 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Rank in [0, N]; walk the cumulative counts to the containing bin.
+	rank := q * float64(h.N)
+	cum := float64(h.Under)
+	if rank <= cum {
+		return h.Lo
+	}
+	w := h.width()
+	for i, c := range h.Bins {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			return h.Lo + (float64(i)+frac)*w
+		}
+		cum = next
+	}
+	return h.Hi
+}
+
+// Clone returns a deep copy.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	c.Bins = append([]int64(nil), h.Bins...)
+	return &c
+}
+
+// Histogram layouts for the per-population quantile estimates: QoE is
+// tracked per watched chunk (so sessions of different lengths are
+// comparable) and spans deep-penalty to max-ladder territory; rebuffer
+// totals span 0 to two minutes of stall.
+const (
+	qoeHistLo, qoeHistHi = -6000.0, 4000.0
+	qoeHistBins          = 500
+	rebufHistLo          = 0.0
+	rebufHistHi          = 120.0
+	rebufHistBins        = 480
+)
+
+// sessionStats is one completed session reduced to the scalars the
+// population aggregates are built from — everything a Tally needs, and
+// all that survives a session once its log is released.
+type sessionStats struct {
+	chunks    int
+	qoe       float64 // total Eq. (5) QoE of the (possibly truncated) session
+	bitrate   float64 // session mean chosen bitrate, kbps
+	rebuffer  float64 // total stall seconds
+	switches  float64 // level changes
+	startup   float64 // Ts seconds
+	abandoned bool    // left early because the abandon-rebuffer policy fired
+}
+
+// Tally is the mergeable per-population aggregate: counters plus
+// Welford moments and quantile histograms for the session metrics.
+type Tally struct {
+	Completed int64
+	Abandoned int64
+	Chunks    int64
+
+	QoE         Welford // per-session total QoE
+	QoEPerChunk Welford
+	BitrateKbps Welford
+	RebufferSec Welford
+	Switches    Welford
+	StartupSec  Welford
+
+	QoEHist   *Hist // per-chunk QoE distribution
+	RebufHist *Hist // per-session total stall distribution
+}
+
+// NewTally returns an empty tally with the standard histogram layouts.
+func NewTally() *Tally {
+	return &Tally{
+		QoEHist:   NewHist(qoeHistLo, qoeHistHi, qoeHistBins),
+		RebufHist: NewHist(rebufHistLo, rebufHistHi, rebufHistBins),
+	}
+}
+
+// observe folds one session in.
+func (t *Tally) observe(s sessionStats) {
+	t.Completed++
+	if s.abandoned {
+		t.Abandoned++
+	}
+	t.Chunks += int64(s.chunks)
+	perChunk := 0.0
+	if s.chunks > 0 {
+		perChunk = s.qoe / float64(s.chunks)
+	}
+	t.QoE.Observe(s.qoe)
+	t.QoEPerChunk.Observe(perChunk)
+	t.BitrateKbps.Observe(s.bitrate)
+	t.RebufferSec.Observe(s.rebuffer)
+	t.Switches.Observe(s.switches)
+	t.StartupSec.Observe(s.startup)
+	t.QoEHist.Observe(perChunk)
+	t.RebufHist.Observe(s.rebuffer)
+}
+
+// Merge folds another tally in; both must use the same histogram layouts.
+func (t *Tally) Merge(o *Tally) error {
+	if err := t.QoEHist.Merge(o.QoEHist); err != nil {
+		return err
+	}
+	if err := t.RebufHist.Merge(o.RebufHist); err != nil {
+		return err
+	}
+	t.Completed += o.Completed
+	t.Abandoned += o.Abandoned
+	t.Chunks += o.Chunks
+	t.QoE.Merge(o.QoE)
+	t.QoEPerChunk.Merge(o.QoEPerChunk)
+	t.BitrateKbps.Merge(o.BitrateKbps)
+	t.RebufferSec.Merge(o.RebufferSec)
+	t.Switches.Merge(o.Switches)
+	t.StartupSec.Merge(o.StartupSec)
+	return nil
+}
+
+// Clone returns a deep copy.
+func (t *Tally) Clone() *Tally {
+	c := *t
+	c.QoEHist = t.QoEHist.Clone()
+	c.RebufHist = t.RebufHist.Clone()
+	return &c
+}
+
+// orderedTally applies per-session stats to a Tally in session-index
+// order no matter in which order workers complete, so the running means
+// and M2 sums — floating-point and order-sensitive — come out
+// bit-identical on every run of the same scenario. Out-of-order arrivals
+// wait in a pending map whose size is bounded by the scheduler's
+// in-flight cap (a worker can only run ahead of the oldest unfinished
+// session by the admission window).
+type orderedTally struct {
+	mu      sync.Mutex
+	next    int
+	pending map[int]sessionStats
+	tally   *Tally
+}
+
+func newOrderedTally() *orderedTally {
+	return &orderedTally{pending: make(map[int]sessionStats), tally: NewTally()}
+}
+
+// add submits session i's stats; contiguous prefixes are folded in
+// immediately, everything else parks until its predecessors arrive.
+func (o *orderedTally) add(i int, s sessionStats) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if i != o.next {
+		o.pending[i] = s
+		return
+	}
+	o.tally.observe(s)
+	o.next++
+	for {
+		s, ok := o.pending[o.next]
+		if !ok {
+			return
+		}
+		delete(o.pending, o.next)
+		o.tally.observe(s)
+		o.next++
+	}
+}
+
+// snapshot returns a deep copy of the current contiguous aggregate. Stats
+// of sessions that finished out of order ahead of a straggler are not yet
+// included — the snapshot is always a valid prefix aggregate.
+func (o *orderedTally) snapshot() *Tally {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.tally.Clone()
+}

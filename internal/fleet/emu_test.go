@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"context"
+	"testing"
+)
+
+// Smoke test for the emulated backend: a handful of sessions over real
+// loopback HTTP with heavy time compression must complete and aggregate.
+func TestFleetEmuBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns loopback servers")
+	}
+	sc := &Scenario{
+		Name:      "emu-smoke",
+		Seed:      3,
+		Video:     VideoSpec{Chunks: 6, ChunkSec: 4},
+		TracePool: TracePoolSpec{PerKind: 4, DurationSec: 120},
+		Populations: []Population{{
+			Name:      "emu",
+			Algorithm: "RB",
+			Sessions:  6,
+			TraceMix:  map[string]float64{"fcc": 1},
+			Watch:     Watch{Dist: "fixed", Chunks: 4},
+		}},
+	}
+	f, err := New(sc, Options{Backend: BackendEmu, EmuTimeScale: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rep.Populations[0]
+	if p.Completed != 6 || p.Errors != 0 {
+		t.Fatalf("emu backend: completed=%d errors=%d, want 6/0", p.Completed, p.Errors)
+	}
+	if p.Chunks != 6*4 {
+		t.Errorf("chunks = %d, want %d (fixed 4-chunk watch)", p.Chunks, 6*4)
+	}
+	if p.BitrateKbps.Mean <= 0 {
+		t.Errorf("no bitrate aggregated: %+v", p)
+	}
+}

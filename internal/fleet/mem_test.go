@@ -1,0 +1,86 @@
+package fleet
+
+import (
+	"context"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// peakHeapDuring runs fn while sampling runtime heap use, and returns
+// the peak live-heap growth over the pre-run baseline.
+func peakHeapDuring(t *testing.T, fn func()) uint64 {
+	t.Helper()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+
+	var peak atomic.Uint64
+	stop := make(chan struct{})
+	sampled := make(chan struct{})
+	go func() {
+		defer close(sampled)
+		tick := time.NewTicker(2 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			var s runtime.MemStats
+			runtime.ReadMemStats(&s)
+			if s.HeapAlloc > peak.Load() {
+				peak.Store(s.HeapAlloc)
+			}
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	fn()
+	close(stop)
+	<-sampled
+	if p := peak.Load(); p > base {
+		return p - base
+	}
+	return 0
+}
+
+// Streaming aggregation means memory is O(populations + trace pool +
+// in-flight sessions), not O(sessions): a 10x larger scenario must not
+// use anywhere near 10x the peak heap. The 2x bound leaves room for GC
+// timing noise while ruling out any per-session retention.
+func TestFleetMemoryIndependentOfSessionCount(t *testing.T) {
+	if testing.Short() {
+		t.Skip("memory profile run")
+	}
+	run := func(sessions int) {
+		sc := testScenario(sessions)
+		sc.MaxInFlight = 64
+		f, err := New(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm-up pass so one-time allocations (algorithm tables, runtime
+	// growth) don't count against either measurement.
+	run(200)
+
+	peak1k := peakHeapDuring(t, func() { run(1000) })
+	peak10k := peakHeapDuring(t, func() { run(10000) })
+	t.Logf("peak heap growth: 1k sessions = %d KiB, 10k sessions = %d KiB", peak1k/1024, peak10k/1024)
+
+	// Floor the denominator so a tiny 1k peak (fast GC) can't make the
+	// ratio spuriously huge.
+	const floor = 4 << 20
+	denom := peak1k
+	if denom < floor {
+		denom = floor
+	}
+	if peak10k > 2*denom {
+		t.Fatalf("peak heap grew with session count: 1k=%d B, 10k=%d B (>2x)", peak1k, peak10k)
+	}
+}

@@ -5,6 +5,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -36,6 +37,8 @@ type Algorithm struct {
 type Outcome struct {
 	Algorithm string
 	TraceName string
+	Session   int // index within the dataset the session was part of
+
 	Result    *model.SessionResult
 	Metrics   model.Metrics
 	QoE       float64
@@ -64,6 +67,20 @@ type Runner struct {
 	// metrics: sessions completed per algorithm, busy workers, and the
 	// per-session mean download throughput. Nil disables observability.
 	Obs *obs.Recorder
+
+	// Gate, when non-nil, is called by a worker immediately before each
+	// session starts; it is the admission-control hook the fleet
+	// scheduler paces arrivals and bounds in-flight sessions with. A
+	// non-nil error cancels the remaining dataset (the error is
+	// returned to the caller); the returned done callback, if any, is
+	// invoked once the session finishes, success or not.
+	Gate func(ctx context.Context, session int) (done func(), err error)
+
+	// PerSession, when non-nil, customizes the simulator configuration
+	// of one session after the Runner defaults and the algorithm's
+	// startup policy are applied — per-session watch durations and
+	// abandon policies in a heterogeneous population.
+	PerSession func(session int, cfg *sim.Config)
 
 	mu       sync.Mutex
 	optCache map[*trace.Trace]float64
@@ -126,6 +143,9 @@ func (r *Runner) runSession(alg Algorithm, tr *trace.Trace, session int) (Outcom
 	if r.Obs != nil {
 		cfg.Obs = r.Obs.WithSession(session)
 	}
+	if r.PerSession != nil {
+		r.PerSession(session, &cfg)
+	}
 	res, err := sim.Run(r.Manifest, tr, ctrl, pred, cfg)
 	if err != nil {
 		return Outcome{}, fmt.Errorf("runner: %s on %s: %w", alg.Name, tr.Name, err)
@@ -133,6 +153,7 @@ func (r *Runner) runSession(alg Algorithm, tr *trace.Trace, session int) (Outcom
 	out := Outcome{
 		Algorithm: alg.Name,
 		TraceName: tr.Name,
+		Session:   session,
 		Result:    res,
 		Metrics:   res.ComputeMetrics(r.Quality),
 		QoE:       res.QoE(r.Weights, r.Quality),
@@ -151,11 +172,25 @@ func (r *Runner) runSession(alg Algorithm, tr *trace.Trace, session int) (Outcom
 	return out, nil
 }
 
-// RunDataset plays every trace with the algorithm, in parallel.
-func (r *Runner) RunDataset(alg Algorithm, traces []*trace.Trace) ([]Outcome, error) {
+// RunDatasetFunc plays every trace with the algorithm in parallel,
+// streaming each completed Outcome to visit instead of materializing the
+// whole slice — the memory contract fleet-scale callers need: a caller
+// that reduces outcomes to aggregates holds O(in-flight) sessions, never
+// O(dataset). visit is called from worker goroutines concurrently and
+// must be safe for concurrent use; Outcome.Session carries the trace
+// index for callers that need a deterministic reduction order.
+//
+// The run stops early when ctx is cancelled, when the Gate hook refuses
+// an admission, or when a session fails: no further sessions launch,
+// in-flight sessions finish (and are still visited on success), and the
+// first error — or ctx.Err() — is returned.
+func (r *Runner) RunDatasetFunc(ctx context.Context, alg Algorithm, traces []*trace.Trace, visit func(Outcome)) error {
 	workers := r.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(traces) {
+		workers = max(len(traces), 1)
 	}
 	// Runner-level progress instruments; every *obs method is nil-safe,
 	// so a disabled registry costs nothing in the worker loop.
@@ -165,50 +200,109 @@ func (r *Runner) RunDataset(alg Algorithm, traces []*trace.Trace) ([]Outcome, er
 		busy     = reg.Gauge("mpcdash_runner_workers_busy", "Workers currently simulating a session.")
 		sessThpt = reg.Histogram("mpcdash_runner_session_kbps", "Per-session mean download throughput in kbps.", obs.DefKbpsBuckets)
 	)
-	outs := make([]Outcome, len(traces))
-	errs := make([]error, len(traces))
-	var wg sync.WaitGroup
-	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		idx      = make(chan int)
+		stop     = make(chan struct{}) // closed on first failure: halts dispatch
+		stopOnce sync.Once
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stopOnce.Do(func() { close(stop) })
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
+				var sessionDone func()
+				if r.Gate != nil {
+					d, err := r.Gate(ctx, i)
+					if err != nil {
+						fail(err)
+						continue
+					}
+					sessionDone = d
+				} else if err := ctx.Err(); err != nil {
+					fail(err)
+					continue
+				}
 				busy.Add(1)
-				outs[i], errs[i] = r.runSession(alg, traces[i], i)
+				out, err := r.runSession(alg, traces[i], i)
 				busy.Add(-1)
 				done.Inc()
-				if errs[i] == nil {
-					sessThpt.Observe(meanThroughput(outs[i].Result))
+				if sessionDone != nil {
+					sessionDone()
 				}
+				if err != nil {
+					fail(err)
+					continue
+				}
+				sessThpt.Observe(meanThroughput(out.Result))
+				visit(out)
 			}
 		}()
 	}
+dispatch:
 	for i := range traces {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-stop:
+			break dispatch
+		case <-ctx.Done():
+			break dispatch
+		}
 	}
 	close(idx)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+// RunDatasetCtx plays every trace with the algorithm in parallel and
+// returns the outcomes in trace order, stopping early if ctx is
+// cancelled.
+func (r *Runner) RunDatasetCtx(ctx context.Context, alg Algorithm, traces []*trace.Trace) ([]Outcome, error) {
+	outs := make([]Outcome, len(traces))
+	// Workers write disjoint indices; no lock needed.
+	err := r.RunDatasetFunc(ctx, alg, traces, func(o Outcome) { outs[o.Session] = o })
+	if err != nil {
+		return nil, err
 	}
 	return outs, nil
 }
 
-// RunAll evaluates every algorithm over the dataset and returns outcomes
-// keyed by algorithm name.
-func (r *Runner) RunAll(algs []Algorithm, traces []*trace.Trace) (map[string][]Outcome, error) {
+// RunDataset plays every trace with the algorithm, in parallel.
+func (r *Runner) RunDataset(alg Algorithm, traces []*trace.Trace) ([]Outcome, error) {
+	return r.RunDatasetCtx(context.Background(), alg, traces)
+}
+
+// RunAllCtx evaluates every algorithm over the dataset and returns
+// outcomes keyed by algorithm name, stopping early if ctx is cancelled.
+func (r *Runner) RunAllCtx(ctx context.Context, algs []Algorithm, traces []*trace.Trace) (map[string][]Outcome, error) {
 	result := make(map[string][]Outcome, len(algs))
 	for _, alg := range algs {
-		outs, err := r.RunDataset(alg, traces)
+		outs, err := r.RunDatasetCtx(ctx, alg, traces)
 		if err != nil {
 			return nil, err
 		}
 		result[alg.Name] = outs
 	}
 	return result, nil
+}
+
+// RunAll evaluates every algorithm over the dataset and returns outcomes
+// keyed by algorithm name.
+func (r *Runner) RunAll(algs []Algorithm, traces []*trace.Trace) (map[string][]Outcome, error) {
+	return r.RunAllCtx(context.Background(), algs, traces)
 }
 
 // meanThroughput is the session's average realized download throughput.

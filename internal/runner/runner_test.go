@@ -1,9 +1,14 @@
 package runner
 
 import (
+	"context"
 	"math"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"mpcdash/internal/abr"
 	"mpcdash/internal/model"
 	"mpcdash/internal/sim"
 	"mpcdash/internal/trace"
@@ -191,5 +196,159 @@ func TestMPCOptBeatsHarmonicMPC(t *testing.T) {
 	// than exact download intervals — allow a small tolerance.
 	if optSum < mpcSum-0.03*math.Abs(mpcSum) {
 		t.Errorf("perfect prediction (%v) should not clearly lose to harmonic mean (%v)", optSum, mpcSum)
+	}
+}
+
+// slowAlg wraps BB with a controller that sleeps on every decision, so a
+// dataset run takes long enough to cancel mid-flight.
+func slowAlg(delay time.Duration) Algorithm {
+	base := StandardSet(model.Balanced, model.QIdentity, 30, 5)[1] // BB
+	return Algorithm{
+		Name: "slow-bb",
+		Factory: func(m *model.Manifest) abr.Controller {
+			return slowController{inner: base.Factory(m), delay: delay}
+		},
+		Predictor: base.Predictor,
+		Startup:   base.Startup,
+	}
+}
+
+type slowController struct {
+	inner abr.Controller
+	delay time.Duration
+}
+
+func (s slowController) Name() string { return "slow-" + s.inner.Name() }
+func (s slowController) Decide(st abr.State) abr.Decision {
+	time.Sleep(s.delay)
+	return s.inner.Decide(st)
+}
+
+// Cancelling the context mid-dataset must stop the workers promptly:
+// far fewer outcomes than traces, and a return well before the full run
+// would have finished.
+func TestRunDatasetCancellation(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.FCC, 64, m.Duration()+120, 17)
+	r := New(m)
+	r.Normalize = false
+	r.Workers = 4
+	// 20 chunks × 2 ms ≈ 40 ms per session; 64 sessions on 4 workers is
+	// well over half a second of work.
+	alg := slowAlg(2 * time.Millisecond)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var visited atomic.Int64
+	errc := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		errc <- r.RunDatasetFunc(ctx, alg, traces, func(Outcome) { visited.Add(1) })
+	}()
+	time.Sleep(60 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if err != context.Canceled {
+			t.Fatalf("RunDatasetFunc error = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("workers did not stop within 2s of cancellation")
+	}
+	elapsed := time.Since(start)
+	if n := visited.Load(); n >= int64(len(traces)) {
+		t.Errorf("all %d sessions completed despite cancellation", n)
+	}
+	// In-flight sessions finish (~40 ms each) but nothing new starts, so
+	// the whole call ends long before the ~600 ms a full run needs.
+	if elapsed > 500*time.Millisecond {
+		t.Errorf("run took %v after cancel; workers did not stop promptly", elapsed)
+	}
+}
+
+// A pre-cancelled context must not run any sessions.
+func TestRunDatasetCancelledUpFront(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.FCC, 4, m.Duration()+120, 19)
+	r := New(m)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var visited atomic.Int64
+	err := r.RunDatasetFunc(ctx, StandardSet(model.Balanced, model.QIdentity, 30, 5)[0], traces,
+		func(Outcome) { visited.Add(1) })
+	if err != context.Canceled {
+		t.Fatalf("error = %v, want context.Canceled", err)
+	}
+	if visited.Load() != 0 {
+		t.Errorf("visited %d sessions on a dead context", visited.Load())
+	}
+}
+
+// The streaming visitor must see every session exactly once with its
+// index, and agree with the materialized API.
+func TestRunDatasetFuncStreams(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.HSDPA, 8, m.Duration()+120, 23)
+	alg := StandardSet(model.Balanced, model.QIdentity, 30, 5)[0]
+
+	r := New(m)
+	r.Workers = 4
+	byIdx := make([]float64, len(traces))
+	seen := make([]bool, len(traces))
+	var mu sync.Mutex
+	err := r.RunDatasetFunc(context.Background(), alg, traces, func(o Outcome) {
+		mu.Lock()
+		defer mu.Unlock()
+		if o.Session < 0 || o.Session >= len(traces) || seen[o.Session] {
+			t.Errorf("bad or duplicate session index %d", o.Session)
+			return
+		}
+		seen[o.Session] = true
+		byIdx[o.Session] = o.QoE
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, err := r.RunDataset(alg, traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range traces {
+		if !seen[i] {
+			t.Fatalf("session %d never visited", i)
+		}
+		if byIdx[i] != outs[i].QoE {
+			t.Errorf("session %d: streamed QoE %v != materialized %v", i, byIdx[i], outs[i].QoE)
+		}
+	}
+}
+
+// Gate and PerSession hooks fire once per session, in admission order
+// for Gate and with a per-session mutable config for PerSession.
+func TestRunnerHooks(t *testing.T) {
+	m := shortManifest(t)
+	traces := trace.Dataset(trace.FCC, 6, m.Duration()+120, 29)
+	r := New(m)
+	r.Normalize = false
+	var admitted, released, configured atomic.Int64
+	r.Gate = func(ctx context.Context, session int) (func(), error) {
+		admitted.Add(1)
+		return func() { released.Add(1) }, nil
+	}
+	r.PerSession = func(session int, cfg *sim.Config) {
+		configured.Add(1)
+		cfg.MaxChunks = 3
+	}
+	outs, err := r.RunDatasetCtx(context.Background(), slowAlg(0), traces)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if admitted.Load() != 6 || released.Load() != 6 || configured.Load() != 6 {
+		t.Errorf("hook counts: admitted=%d released=%d configured=%d, want 6 each",
+			admitted.Load(), released.Load(), configured.Load())
+	}
+	for i, o := range outs {
+		if len(o.Result.Chunks) != 3 {
+			t.Errorf("session %d played %d chunks; PerSession MaxChunks=3 ignored", i, len(o.Result.Chunks))
+		}
 	}
 }

@@ -42,6 +42,19 @@ type Config struct {
 	Startup      StartupPolicy // how Ts is chosen
 	FixedStartup float64       // Ts when Startup == StartupFixed
 
+	// MaxChunks stops the session after this many chunks (0 plays the
+	// whole video). It models viewers who leave before the end — the
+	// watch-duration churn of a session population — and because the
+	// simulator is strictly sequential, a truncated session is exactly
+	// the prefix of the full one.
+	MaxChunks int
+
+	// AbandonRebuffer ends the session once cumulative stall time
+	// reaches this many seconds (0 disables). The chunk that crossed
+	// the threshold is the last one recorded: the viewer gave up during
+	// that stall.
+	AbandonRebuffer float64
+
 	// Obs receives per-decision events and session metrics. Nil disables
 	// observability at the cost of one pointer test per chunk.
 	Obs *obs.Recorder
@@ -65,12 +78,17 @@ func Run(m *model.Manifest, tr *trace.Trace, ctrl abr.Controller, pred predictor
 		Algorithm: ctrl.Name(),
 		Chunks:    make([]model.ChunkRecord, 0, m.ChunkCount),
 	}
+	chunks := m.ChunkCount
+	if cfg.MaxChunks > 0 && cfg.MaxChunks < chunks {
+		chunks = cfg.MaxChunks
+	}
 	var (
-		t      float64 // session clock, seconds
-		buffer float64 // B_k
-		prev   = -1
+		t        float64 // session clock, seconds
+		buffer   float64 // B_k
+		prev     = -1
+		rebufTot float64 // cumulative stall, drives AbandonRebuffer
 	)
-	for k := 0; k < m.ChunkCount; k++ {
+	for k := 0; k < chunks; k++ {
 		if ta, ok := pred.(predictor.TimeAware); ok {
 			ta.SetTime(t)
 		}
@@ -166,6 +184,11 @@ func Run(m *model.Manifest, tr *trace.Trace, ctrl abr.Controller, pred predictor
 		t += dl + wait
 		buffer = next
 		prev = level
+
+		rebufTot += rebuffer
+		if cfg.AbandonRebuffer > 0 && rebufTot >= cfg.AbandonRebuffer {
+			break
+		}
 	}
 	return res, nil
 }

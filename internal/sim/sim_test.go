@@ -272,3 +272,66 @@ func (h *horizonSpy) Predict(n int) []float64 {
 	h.sawN = n
 	return h.inner.Predict(n)
 }
+
+// MaxChunks truncates the session to an exact prefix of the full run —
+// the simulator is sequential, so early chunks are unaffected by the cut.
+func TestRunMaxChunksIsExactPrefix(t *testing.T) {
+	m := model.EnvivioManifest()
+	tr := trace.GenHSDPA(21, m.Duration()+120)
+	full, err := Run(m, tr, abr.NewBB(5, 10)(m), predictor.NewHarmonicMean(5), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	cfg.MaxChunks = 12
+	short, err := Run(m, tr, abr.NewBB(5, 10)(m), predictor.NewHarmonicMean(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(short.Chunks) != 12 {
+		t.Fatalf("chunks = %d, want 12", len(short.Chunks))
+	}
+	for i := range short.Chunks {
+		a, b := short.Chunks[i], full.Chunks[i]
+		if a.Level != b.Level || a.DownloadTime != b.DownloadTime ||
+			a.Rebuffer != b.Rebuffer || a.BufferAfter != b.BufferAfter {
+			t.Fatalf("chunk %d differs from full session: %+v vs %+v", i, a, b)
+		}
+	}
+	// MaxChunks beyond the video is a no-op.
+	cfg.MaxChunks = 1000
+	again, err := Run(m, tr, abr.NewBB(5, 10)(m), predictor.NewHarmonicMean(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Chunks) != m.ChunkCount {
+		t.Errorf("chunks = %d, want full video %d", len(again.Chunks), m.ChunkCount)
+	}
+}
+
+// AbandonRebuffer ends the session once cumulative stalls cross the
+// threshold; the last recorded chunk is the one that pushed it over.
+func TestRunAbandonOnRebuffer(t *testing.T) {
+	m := model.EnvivioManifest()
+	// 200 kbps link under 350 kbps chunks: ~3 s stall per steady chunk.
+	tr := constTrace(t, 200, 400)
+	cfg := DefaultConfig()
+	cfg.AbandonRebuffer = 10
+	res, err := Run(m, tr, abr.NewFixed(0)(m), predictor.NewHarmonicMean(5), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) >= m.ChunkCount {
+		t.Fatalf("session not abandoned: played all %d chunks", len(res.Chunks))
+	}
+	var cum float64
+	for i, c := range res.Chunks {
+		cum += c.Rebuffer
+		if cum >= cfg.AbandonRebuffer && i != len(res.Chunks)-1 {
+			t.Fatalf("threshold crossed at chunk %d but session ran to %d", i, len(res.Chunks)-1)
+		}
+	}
+	if cum < cfg.AbandonRebuffer {
+		t.Fatalf("session ended with %v s of stalls, below the %v s threshold", cum, cfg.AbandonRebuffer)
+	}
+}

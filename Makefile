@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet verify trace-demo fleet-demo
+.PHONY: build test race vet lint lint-fixtures verify trace-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -8,19 +8,30 @@ build:
 vet:
 	$(GO) vet ./...
 
+# lint runs mpclint, the project-specific static analyzers enforcing the
+# determinism / float-safety / map-order / stdlib-only / ctx-leak
+# invariants (DESIGN.md §4e). Non-zero exit on any finding.
+lint:
+	$(GO) run ./cmd/mpclint ./...
+
+# lint-fixtures runs the analyzer golden-fixture tests (testdata trees with
+# `// want "..."` expectations) and the mpclint CLI smoke tests.
+lint-fixtures:
+	$(GO) test ./internal/lint/... ./cmd/mpclint/...
+
 test:
 	$(GO) test ./...
 
-# race runs the concurrent emulation/runner/metrics paths under the race
-# detector.
+# race runs the entire test suite under the race detector.
 race:
-	$(GO) test -race ./internal/obs/... ./internal/emu/... ./internal/runner/... ./internal/multiplayer/... ./internal/fleet/...
+	$(GO) test -race ./...
 
-# verify is the full pre-merge gate: build, vet, and the whole test suite
-# under the race detector.
+# verify is the full pre-merge gate: build, vet, lint, and the whole test
+# suite under the race detector.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
+	$(GO) run ./cmd/mpclint ./...
 	$(GO) test -race ./...
 
 # trace-demo plays the loopback emulation and writes a Chrome trace-event

@@ -157,7 +157,7 @@ func loadTrace(file, dataset string, seed int64, videoDur float64) (*mpcdash.Tra
 		uniform := true
 		for i, s := range raw.Samples {
 			rates[i] = s.Kbps
-			if s.Duration != raw.Samples[0].Duration {
+			if s.Duration != raw.Samples[0].Duration { //lint:allow floateq parsed durations compared verbatim, not arithmetic results
 				uniform = false
 			}
 		}

@@ -47,7 +47,7 @@ func (s *Server) Start(shaper *Shaper) (string, error) {
 		return "", fmt.Errorf("emu: listen: %w", err)
 	}
 	s.addr = ln.Addr().String()
-	go func() {
+	go func() { //lint:allow ctxleak Serve exits when Server.Close closes the listener
 		// Serve returns ErrServerClosed on Close; other errors mean the
 		// listener died, which the client will observe as request errors.
 		_ = s.http.Serve(NewListener(ln, shaper))

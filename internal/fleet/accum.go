@@ -111,7 +111,7 @@ func (h *Hist) width() float64 { return (h.Hi - h.Lo) / float64(len(h.Bins)) }
 
 // Merge adds another histogram of the identical layout.
 func (h *Hist) Merge(o *Hist) error {
-	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Bins) != len(h.Bins) {
+	if o.Lo != h.Lo || o.Hi != h.Hi || len(o.Bins) != len(h.Bins) { //lint:allow floateq layout bounds are copied config constants; exact match is the merge contract
 		return fmt.Errorf("fleet: merging histograms with different layouts: [%v,%v)/%d vs [%v,%v)/%d",
 			h.Lo, h.Hi, len(h.Bins), o.Lo, o.Hi, len(o.Bins))
 	}

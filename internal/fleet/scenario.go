@@ -225,7 +225,7 @@ func (sc *Scenario) video() VideoSpec {
 	if v.Chunks == 0 {
 		v.Chunks = 65
 	}
-	if v.ChunkSec == 0 {
+	if v.ChunkSec == 0 { //lint:allow floateq zero is the JSON field-absent sentinel, never computed
 		v.ChunkSec = 4
 	}
 	return v

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// wantRe extracts `// want "regexp"` and `// want `+"`regexp`"+“ expectation
+// comments from fixture source lines.
+var wantRe = regexp.MustCompile("// want (?:\"([^\"]*)\"|`([^`]*)`)")
+
+type expectation struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// collectWants scans every .go file under root for want comments, keyed by
+// absolute file path and line.
+func collectWants(t *testing.T, root string) map[string][]*expectation {
+	t.Helper()
+	wants := map[string][]*expectation{}
+	err := filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".go") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		abs, err := filepath.Abs(p)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				pat := m[1]
+				if pat == "" {
+					pat = m[2]
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return fmt.Errorf("%s:%d: bad want pattern %q: %v", p, i+1, pat, err)
+				}
+				key := fmt.Sprintf("%s:%d", abs, i+1)
+				wants[key] = append(wants[key], &expectation{re: re})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wants
+}
+
+func loadFixture(t *testing.T, fixture string) []*Package {
+	t.Helper()
+	root := filepath.Join("testdata", "src", fixture)
+	pkgs, err := Load(LoadConfig{Dir: root, ModulePath: "mpcdash"})
+	if err != nil {
+		t.Fatalf("load %s: %v", fixture, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("load %s: no packages", fixture)
+	}
+	return pkgs
+}
+
+// TestFixtures runs each analyzer over its golden fixture tree and matches
+// findings against the inline want comments: every want must be hit and
+// every finding must be wanted, which also proves the suppression and
+// scoping negative cases (their lines carry no want).
+func TestFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			pkgs := loadFixture(t, a.Name)
+			diags := Run(pkgs, []*Analyzer{a})
+			wants := collectWants(t, filepath.Join("testdata", "src", a.Name))
+			for _, d := range diags {
+				key := fmt.Sprintf("%s:%d", d.File, d.Line)
+				found := false
+				for _, w := range wants[key] {
+					if !w.matched && w.re.MatchString(d.Message) {
+						w.matched, found = true, true
+						break
+					}
+				}
+				if !found {
+					t.Errorf("unexpected finding: %s", d)
+				}
+			}
+			for key, ws := range wants {
+				for _, w := range ws {
+					if !w.matched {
+						t.Errorf("%s: want %q not reported", key, w.re)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDirectiveDiagnostics checks that malformed //lint:allow directives
+// are themselves reported, and well-formed ones are not.
+func TestDirectiveDiagnostics(t *testing.T) {
+	pkgs := loadFixture(t, "lintdirective")
+	diags := Run(pkgs, nil) // directives are validated regardless of analyzer set
+	want := map[int]string{
+		3: "needs a one-line reason",
+		6: `unknown check "madeupcheck"`,
+		9: "needs a check name and a reason",
+	}
+	for _, d := range diags {
+		if d.Check != "lintdirective" {
+			t.Errorf("unexpected check %q in %s", d.Check, d)
+			continue
+		}
+		msg, ok := want[d.Line]
+		if !ok {
+			t.Errorf("unexpected directive finding: %s", d)
+			continue
+		}
+		if !strings.Contains(d.Message, msg) {
+			t.Errorf("line %d: got %q, want substring %q", d.Line, d.Message, msg)
+		}
+		delete(want, d.Line)
+	}
+	for line, msg := range want {
+		t.Errorf("missing directive finding at line %d (%s)", line, msg)
+	}
+}
+
+// TestSuppressionScope pins the suppression rule: a directive covers its
+// own line and the line directly below, nothing else.
+func TestSuppressionScope(t *testing.T) {
+	pkgs := loadFixture(t, "nodeterminism")
+	diags := Run(pkgs, []*Analyzer{NoDeterminism})
+	for _, d := range diags {
+		if strings.Contains(d.File, "a.go") && d.Line > 25 {
+			t.Errorf("suppressed finding leaked: %s", d)
+		}
+	}
+}
+
+// TestAnalyzersByName covers the -checks flag plumbing.
+func TestAnalyzersByName(t *testing.T) {
+	all, err := AnalyzersByName("")
+	if err != nil || len(all) != len(Analyzers()) {
+		t.Fatalf("empty selector: got %d analyzers, err=%v", len(all), err)
+	}
+	two, err := AnalyzersByName("floateq, ctxleak")
+	if err != nil || len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "ctxleak" {
+		t.Fatalf("subset selector failed: %v %v", two, err)
+	}
+	if _, err := AnalyzersByName("nope"); err == nil {
+		t.Fatal("unknown check name should error")
+	}
+}

@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FloatEq flags ==/!= between floating-point operands and float-keyed maps
+// outside test files. QoE and bitrate values are floats that arrive via
+// different arithmetic paths (table lookup vs direct evaluation, merged vs
+// streamed accumulation), so exact equality either works by accident or
+// flips an ABR decision on the least significant bit. Compare with an
+// epsilon, or compare the integer level/bin index instead. Comparisons
+// that fold to an untyped constant at compile time are exact by definition
+// and not flagged.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag exact float ==/!= comparisons and float map keys outside tests",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if tv, ok := info.Types[n]; ok && tv.Value != nil {
+					return true // constant-folded: exact at compile time
+				}
+				if isFloat(info.TypeOf(n.X)) || isFloat(info.TypeOf(n.Y)) {
+					p.Reportf(n.OpPos, "exact float %s comparison; use an epsilon or compare integer indices", n.Op)
+				}
+			case *ast.MapType:
+				if isFloat(info.TypeOf(n.Key)) {
+					p.Reportf(n.Key.Pos(), "float map key relies on exact equality and hashing of floats; key by an integer index instead")
+				}
+			}
+			return true
+		})
+	}
+}

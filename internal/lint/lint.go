@@ -1,0 +1,184 @@
+// Package lint is mpcdash's project-specific static-analysis suite. It
+// enforces, at compile time, the invariants the paper reproduction depends
+// on at run time: deterministic packages stay wall-clock- and
+// global-rand-free (nodeterminism), QoE/bitrate arithmetic never relies on
+// exact float equality (floateq), byte-identical report/export emitters
+// never iterate maps in hash order (maporder), the dependency policy stays
+// stdlib-only (stdlibonly), and orchestration goroutines keep a
+// cancellation path (ctxleak).
+//
+// Findings are suppressed with a directive comment carrying a reason:
+//
+//	expensive := time.Now() //lint:allow nodeterminism measurement only, not a decision input
+//
+// A directive suppresses matching findings on its own line and on the line
+// directly below it, so it can trail the offending statement or sit on the
+// preceding line. Directives without a reason, or naming an unknown check,
+// are themselves reported (check "lintdirective") so suppressions stay
+// auditable.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, analyzer) pairing and collects reports.
+type Pass struct {
+	Pkg   *Package
+	check string
+	out   *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	*p.out = append(*p.out, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Check:   p.check,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{NoDeterminism, FloatEq, MapOrder, StdlibOnly, CtxLeak}
+}
+
+// AnalyzersByName resolves a comma-separated list of check names.
+func AnalyzersByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return Analyzers(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := byName[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown check %q", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+func knownCheck(name string) bool {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// allowKey identifies a suppressed (file, line, check) coordinate.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+const allowPrefix = "lint:allow"
+
+// collectAllows scans a package's comments for //lint:allow directives.
+// Malformed directives (missing reason, unknown check) are reported as
+// "lintdirective" findings so the suppression inventory stays honest.
+func collectAllows(pkg *Package, out *[]Diagnostic) map[allowKey]bool {
+	allows := map[allowKey]bool{}
+	files := append(append([]*ast.File{}, pkg.Files...), pkg.TestFiles...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
+				check, reason, _ := strings.Cut(rest, " ")
+				report := func(format string, args ...any) {
+					*out = append(*out, Diagnostic{
+						File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Check:   "lintdirective",
+						Message: fmt.Sprintf(format, args...),
+					})
+				}
+				switch {
+				case check == "":
+					report("//lint:allow needs a check name and a reason")
+				case !knownCheck(check):
+					report("//lint:allow names unknown check %q", check)
+				case strings.TrimSpace(reason) == "":
+					report("//lint:allow %s needs a one-line reason", check)
+				default:
+					allows[allowKey{pos.Filename, pos.Line, check}] = true
+				}
+			}
+		}
+	}
+	return allows
+}
+
+// Run applies analyzers to pkgs, filters suppressed findings, and returns
+// the remainder sorted by position for deterministic output.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var raw []Diagnostic
+		allows := collectAllows(pkg, &diags)
+		for _, a := range analyzers {
+			a.Run(&Pass{Pkg: pkg, check: a.Name, out: &raw})
+		}
+		for _, d := range raw {
+			// A directive suppresses its own line (trailing comment) and the
+			// line below it (directive on the preceding line).
+			if allows[allowKey{d.File, d.Line, d.Check}] || allows[allowKey{d.File, d.Line - 1, d.Check}] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path"
+)
+
+// orderScope covers the packages whose outputs are promised byte-identical:
+// CSV/JSON exporters, fleet report emission, the obs registry/exposition,
+// and the plotters.
+var orderScope = fileScope{
+	"export": nil,
+	"viz":    nil,
+	"obs":    nil,
+	"fleet":  {"report.go"},
+}
+
+// writeMethods are emitter method names whose call order becomes output
+// byte order.
+var writeMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "Encode": true,
+}
+
+// metricMethods are obs-registry emission methods.
+var metricMethods = map[string]bool{
+	"Add": true, "Inc": true, "Set": true, "Observe": true,
+}
+
+// MapOrder flags `range` over a map whose body appends to a slice, writes
+// to a writer/encoder, or emits obs metrics: Go randomizes map iteration
+// order, so the order leaks straight into outputs that tests pin
+// byte-for-byte. The sanctioned pattern — collect the keys, sort them,
+// iterate the sorted slice — is recognized and not flagged: an append of
+// only the key variable is allowed when the same function sorts the
+// destination slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag order-sensitive work inside map iteration in output-emitting packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range orderScope.files(p.Pkg) {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sorted := sortTargets(fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if _, isMap := typeAsMap(info.TypeOf(rs.X)); !isMap {
+					return true
+				}
+				checkMapRangeBody(p, rs, sorted)
+				return true
+			})
+		}
+	}
+}
+
+func typeAsMap(t types.Type) (*types.Map, bool) {
+	if t == nil {
+		return nil, false
+	}
+	m, ok := t.Underlying().(*types.Map)
+	return m, ok
+}
+
+// sortTargets collects identifier names that appear as arguments to
+// sort.*/slices.Sort* calls anywhere in body — slices that get sorted
+// after collection and are therefore safe append destinations.
+func sortTargets(body *ast.BlockStmt) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		base, ok := sel.X.(*ast.Ident)
+		if !ok || (base.Name != "sort" && base.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok {
+					out[id.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return out
+}
+
+func checkMapRangeBody(p *Pass, rs *ast.RangeStmt, sorted map[string]bool) {
+	keyName := ""
+	if id, ok := rs.Key.(*ast.Ident); ok && id.Name != "_" {
+		keyName = id.Name
+	}
+	info := p.Pkg.Info
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) >= 2 {
+			if keyCollectIdiom(call, keyName, sorted) {
+				return true
+			}
+			p.Reportf(call.Pos(), "append inside map iteration leaks hash order into the slice; collect keys, sort, then iterate")
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		name := sel.Sel.Name
+		if pkgPath, ok := importedPackage(info, sel.X); ok {
+			if pkgPath == "fmt" && (name == "Fprintf" || name == "Fprintln" || name == "Fprint" || name == "Printf" || name == "Println" || name == "Print") {
+				p.Reportf(call.Pos(), "fmt.%s inside map iteration emits output in hash order; iterate sorted keys instead", name)
+			}
+			return true
+		}
+		if writeMethods[name] {
+			p.Reportf(call.Pos(), "%s call inside map iteration writes output in hash order; iterate sorted keys instead", name)
+			return true
+		}
+		if metricMethods[name] && obsReceiver(info, sel) {
+			p.Reportf(call.Pos(), "metric %s inside map iteration emits in hash order; iterate sorted keys instead", name)
+		}
+		return true
+	})
+}
+
+// keyCollectIdiom reports whether call is `dst = append(dst, key)` with dst
+// sorted later in the same function — the sanctioned sorted-keys pattern.
+func keyCollectIdiom(call *ast.CallExpr, keyName string, sorted map[string]bool) bool {
+	if keyName == "" {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		id, ok := arg.(*ast.Ident)
+		if !ok || id.Name != keyName {
+			return false
+		}
+	}
+	dst, ok := call.Args[0].(*ast.Ident)
+	return ok && sorted[dst.Name]
+}
+
+// obsReceiver reports whether sel is a method selection on a type declared
+// in an obs package (the metrics registry).
+func obsReceiver(info *types.Info, sel *ast.SelectorExpr) bool {
+	s := info.Selections[sel]
+	if s == nil || s.Obj() == nil || s.Obj().Pkg() == nil {
+		return false
+	}
+	return path.Base(s.Obj().Pkg().Path()) == "obs"
+}

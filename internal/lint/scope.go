@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// fileScope restricts a check to specific packages, optionally to specific
+// file basenames within a package. A nil basename list means every non-test
+// file in the package. Packages are matched on the last import-path segment
+// so the same tables drive both the real tree ("mpcdash/internal/core") and
+// the golden fixtures ("mpcdash/core").
+type fileScope map[string][]string
+
+// files returns the non-test files of pkg the scope covers (nil if the
+// package is out of scope).
+func (s fileScope) files(pkg *Package) []*ast.File {
+	bases, ok := s[pkg.baseName()]
+	if !ok {
+		return nil
+	}
+	if bases == nil {
+		return pkg.Files
+	}
+	want := map[string]bool{}
+	for _, b := range bases {
+		want[b] = true
+	}
+	var out []*ast.File
+	for _, f := range pkg.Files {
+		if want[filepath.Base(pkg.Fset.Position(f.Pos()).Filename)] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// importedPackage reports the import path x refers to, if x is a package
+// qualifier identifier (e.g. the `time` in `time.Now`).
+func importedPackage(info *types.Info, x ast.Expr) (string, bool) {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pn.Imported().Path(), true
+}
+
+// isFloat reports whether t's core type is a floating-point basic type
+// (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	return t != nil && t.String() == "context.Context"
+}
+
+// isChan reports whether t's underlying type is a channel.
+func isChan(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// StdlibOnly machine-checks the repo's no-dependency policy: every import
+// (test files included) must be either the Go standard library or a
+// package of this module. Stdlib is recognized the way the toolchain does
+// it — the first path segment of a stdlib import never contains a dot;
+// anything domain-shaped is a third-party dependency. Cgo ("C") is also
+// forbidden: it would tie reproduction results to the host C toolchain.
+var StdlibOnly = &Analyzer{
+	Name: "stdlibonly",
+	Doc:  "enforce that all imports are stdlib or module-internal",
+	Run:  runStdlibOnly,
+}
+
+func runStdlibOnly(p *Pass) {
+	files := append(append([]*ast.File{}, p.Pkg.Files...), p.Pkg.TestFiles...)
+	for _, f := range files {
+		for _, spec := range f.Imports {
+			ip, err := strconv.Unquote(spec.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch {
+			case ip == "C":
+				p.Reportf(spec.Path.Pos(), `import "C" pulls in cgo; the reproduction must not depend on a host C toolchain`)
+			case ip == p.Pkg.ModulePath, strings.HasPrefix(ip, p.Pkg.ModulePath+"/"):
+				// module-internal
+			default:
+				if first, _, _ := strings.Cut(ip, "/"); strings.Contains(first, ".") {
+					p.Reportf(spec.Path.Pos(), "import %q is neither stdlib nor %s/...; the repo is dependency-free by policy", ip, p.Pkg.ModulePath)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,9 @@
+package core
+
+import "math"
+
+// A clean deterministic package: seeded arithmetic, epsilon comparison,
+// no wall clock.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}

@@ -1,0 +1,10 @@
+package core
+
+import "time"
+
+// Deliberately dirty: a wall-clock read and an exact float comparison in a
+// deterministic package. The CLI smoke test asserts mpclint exits 1 here.
+func decide(qoe, best float64) bool {
+	_ = time.Now()
+	return qoe == best
+}

@@ -1,0 +1,7 @@
+package other
+
+// Packages outside runner/fleet/emu are not audited for goroutine
+// cancellation paths.
+func notInScope() {
+	go func() {}()
+}

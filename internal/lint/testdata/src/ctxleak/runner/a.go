@@ -1,0 +1,56 @@
+package runner
+
+import "context"
+
+func work() {}
+
+func bad() {
+	go func() { // want "no cancellation path"
+		work()
+	}()
+}
+
+func goodCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+		work()
+	}()
+}
+
+func goodSelect(stop chan struct{}) {
+	go func() {
+		select {
+		case <-stop:
+		}
+	}()
+}
+
+func goodCtxArg(ctx context.Context) {
+	go func(c context.Context) {
+		work()
+	}(ctx)
+}
+
+func goodRangeChan(jobs chan int) {
+	go func() {
+		for range jobs {
+			work()
+		}
+	}()
+}
+
+func goodSend(results chan int) {
+	go func() {
+		results <- 1
+	}()
+}
+
+func namedFuncIsNotAudited() {
+	go work()
+}
+
+func allowed() {
+	go func() { //lint:allow ctxleak fixture: bounded by process lifetime
+		work()
+	}()
+}

@@ -1,0 +1,33 @@
+package a
+
+func cmpEq(x, y float64) bool {
+	return x == y // want "exact float == comparison"
+}
+
+func cmpNeq(x, y float32) bool {
+	return x != y // want "exact float != comparison"
+}
+
+func mixed(x float64) bool {
+	return x == 0.5 // want "exact float == comparison"
+}
+
+var lookup map[float64]int // want "float map key"
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+func strcmp(a, b string) bool {
+	return a == b
+}
+
+func constantFolded() bool {
+	// Both operands are untyped constants: the comparison is exact at
+	// compile time and not flagged.
+	return 0.1 == 0.25
+}
+
+func allowed(x float64) bool {
+	return x == 0 //lint:allow floateq fixture: exact-zero sentinel check
+}

@@ -1,0 +1,13 @@
+package a
+
+//lint:allow nodeterminism
+var missingReason = 1
+
+//lint:allow madeupcheck because reasons
+var unknownCheck = 2
+
+//lint:allow
+var missingEverything = 3
+
+//lint:allow floateq fixture: well-formed directive is fine even with nothing to suppress
+var wellFormed = 4

@@ -1,0 +1,54 @@
+package export
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+func badPrint(w io.Writer, m map[string]float64) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%v\n", k, v) // want "fmt.Fprintf inside map iteration"
+	}
+}
+
+func badAppend(m map[string]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want "append inside map iteration"
+	}
+	return out
+}
+
+func badUnsortedKeys(m map[string]float64) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append inside map iteration"
+	}
+	return keys
+}
+
+func goodSortedKeys(w io.Writer, m map[string]float64) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%v\n", k, m[k])
+	}
+}
+
+func goodAggregate(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+func allowed(w io.Writer, m map[string]float64) {
+	for k := range m {
+		fmt.Fprintln(w, k) //lint:allow maporder fixture: order-insensitive sink
+	}
+}

@@ -1,0 +1,11 @@
+package fleet
+
+// Only report.go is in the maporder file scope for fleet: the orchestrator
+// may iterate maps freely for non-output work.
+func orchestrationMayIterate(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}

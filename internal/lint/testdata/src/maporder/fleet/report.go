@@ -1,0 +1,9 @@
+package fleet
+
+func badInReport(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "append inside map iteration"
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package obs
+
+import "strings"
+
+type Counter struct{ v float64 }
+
+func (c *Counter) Add(v float64) { c.v += v }
+
+func badMetric(c *Counter, m map[string]float64) {
+	for _, v := range m {
+		c.Add(v) // want "metric Add inside map iteration"
+	}
+}
+
+func badWrite(b *strings.Builder, m map[string]string) {
+	for k := range m {
+		b.WriteString(k) // want "WriteString call inside map iteration"
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() int64 {
+	t := time.Now() // want "time.Now reads the wall clock"
+	return t.UnixNano()
+}
+
+func badElapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time.Since reads the wall clock"
+}
+
+func badRand() float64 {
+	return rand.Float64() // want "global rand.Float64 uses the shared source"
+}
+
+func goodSeeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+func allowed() time.Time {
+	return time.Now() //lint:allow nodeterminism fixture: suppression keeps this finding quiet
+}
+
+func allowedAbove() time.Time {
+	//lint:allow nodeterminism fixture: directive on the preceding line also suppresses
+	return time.Now()
+}

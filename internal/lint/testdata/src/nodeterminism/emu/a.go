@@ -1,0 +1,8 @@
+package emu
+
+import "time"
+
+// The emulation layer is allowlisted: it measures real downloads.
+func timingIsFine() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,9 @@
+package main
+
+import "time"
+
+// A main package whose directory shares a deterministic package's name is
+// not in scope: CLIs print elapsed wall time legitimately.
+func main() {
+	_ = time.Now()
+}

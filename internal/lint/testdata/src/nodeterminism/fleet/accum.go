@@ -1,0 +1,7 @@
+package fleet
+
+import "time"
+
+func badInAccumulator() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,9 @@
+package fleet
+
+import "time"
+
+// Orchestration files are outside the deterministic file scope: pacing real
+// goroutines against the wall clock is legitimate here.
+func orchestrationMayUseWallClock() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,13 @@
+package a
+
+import (
+	"fmt"
+
+	_ "mpcdash/internal/notreal"
+
+	_ "github.com/fake/dep" // want `import "github.com/fake/dep" is neither stdlib nor mpcdash`
+)
+
+func ok() {
+	fmt.Sprint("stdlib and module-internal imports are fine")
+}

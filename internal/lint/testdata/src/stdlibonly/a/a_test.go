@@ -1,0 +1,8 @@
+package a
+
+import (
+	_ "gopkg.in/yaml.v2" // want `import "gopkg.in/yaml.v2" is neither stdlib nor mpcdash`
+	"testing"
+)
+
+func TestNothing(t *testing.T) {}

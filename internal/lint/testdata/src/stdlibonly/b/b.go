@@ -1,0 +1,5 @@
+package b
+
+import "C" // want `import "C" pulls in cgo`
+
+func unused() {}

@@ -68,7 +68,7 @@ func (l Ladder) Max() float64 { return l[len(l)-1] }
 func (l Ladder) HighestBelow(kbps float64) int {
 	// sort.SearchFloat64s returns the first index with l[i] >= kbps.
 	i := sort.SearchFloat64s(l, kbps)
-	if i < len(l) && l[i] == kbps {
+	if i < len(l) && l[i] == kbps { //lint:allow floateq exact hit after binary search over the caller's own ladder values
 		return i
 	}
 	if i == 0 {

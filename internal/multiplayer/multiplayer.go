@@ -292,7 +292,7 @@ func jain(xs []float64) float64 {
 		sum += x
 		sumSq += x * x
 	}
-	if sumSq == 0 {
+	if sumSq == 0 { //lint:allow floateq exact-zero divisor guard; epsilon would misclassify tiny allocations
 		return 1
 	}
 	return sum * sum / (float64(len(xs)) * sumSq)

@@ -83,10 +83,10 @@ type node struct {
 // so frontier updates are independent of map iteration order and the solver
 // is bit-for-bit deterministic.
 func (n node) better(o node) bool {
-	if n.val != o.val {
+	if n.val != o.val { //lint:allow floateq deliberate total order for bit-stable frontier updates
 		return n.val > o.val
 	}
-	if n.buf != o.buf {
+	if n.buf != o.buf { //lint:allow floateq deliberate total order for bit-stable frontier updates
 		return n.buf > o.buf
 	}
 	return n.t < o.t
@@ -219,10 +219,10 @@ func prune(frontier map[stateKey]node, qOf []float64, lambda float64, noPrev int
 		// within a bin is treated as equal, an approximation inherent to
 		// the binning.
 		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].n.buf != entries[j].n.buf {
+			if entries[i].n.buf != entries[j].n.buf { //lint:allow floateq deterministic sort key; exact compare is the tie-break contract
 				return entries[i].n.buf > entries[j].n.buf
 			}
-			if entries[i].n.val != entries[j].n.val {
+			if entries[i].n.val != entries[j].n.val { //lint:allow floateq deterministic sort key; exact compare is the tie-break contract
 				return entries[i].n.val > entries[j].n.val
 			}
 			if entries[i].prev != entries[j].prev {

@@ -161,10 +161,10 @@ func prunePlan(frontier map[stateKey]bpNode, qOf []float64, lambda float64, noPr
 	out := make(map[stateKey]bpNode, len(frontier))
 	for _, entries := range groups {
 		sort.Slice(entries, func(i, j int) bool {
-			if entries[i].n.buf != entries[j].n.buf {
+			if entries[i].n.buf != entries[j].n.buf { //lint:allow floateq deterministic sort key; exact compare is the tie-break contract
 				return entries[i].n.buf > entries[j].n.buf
 			}
-			if entries[i].n.val != entries[j].n.val {
+			if entries[i].n.val != entries[j].n.val { //lint:allow floateq deterministic sort key; exact compare is the tie-break contract
 				return entries[i].n.val > entries[j].n.val
 			}
 			if entries[i].prev != entries[j].prev {

@@ -165,7 +165,7 @@ func (r *Runner) runSession(alg Algorithm, tr *trace.Trace, session int) (Outcom
 		if err != nil {
 			return Outcome{}, err
 		}
-		if opt != 0 {
+		if opt != 0 { //lint:allow floateq exact-zero divisor guard for QoE normalization
 			out.NormQoE = out.QoE / opt
 		}
 	}

@@ -106,9 +106,9 @@ func Run(m *model.Manifest, tr *trace.Trace, ctrl abr.Controller, pred predictor
 			Lower:    lower,
 			Startup:  k == 0 && cfg.Startup == StartupController,
 		}
-		decStart := time.Now()
+		decStart := time.Now() //lint:allow nodeterminism solver wall-time measurement for obs only; never feeds the decision
 		dec := ctrl.Decide(st)
-		solverWall := time.Since(decStart)
+		solverWall := time.Since(decStart) //lint:allow nodeterminism solver wall-time measurement for obs only; never feeds the decision
 		level := m.Ladder.Clamp(dec.Level)
 
 		size := m.ChunkSize(k, level)

@@ -99,7 +99,7 @@ func (c CDF) At(x float64) float64 {
 	i := sort.SearchFloat64s(c.X, x)
 	// SearchFloat64s finds the first index with X[i] >= x; walk forward over
 	// equal values so we count every observation ≤ x.
-	for i < len(c.X) && c.X[i] == x {
+	for i < len(c.X) && c.X[i] == x { //lint:allow floateq duplicate-sample walk over sorted raw observations, not computed values
 		i++
 	}
 	if i == 0 {

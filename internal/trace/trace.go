@@ -83,7 +83,7 @@ func (t *Trace) wrap(sec float64) float64 {
 func (t *Trace) segmentAt(pos float64) int {
 	// First i with cumDur[i] > pos; the segment is i-1.
 	i := sort.SearchFloat64s(t.cumDur, pos)
-	if i < len(t.cumDur) && t.cumDur[i] == pos {
+	if i < len(t.cumDur) && t.cumDur[i] == pos { //lint:allow floateq exact boundary hit after binary search on cumulative durations
 		i++
 	}
 	if i <= 0 {
@@ -138,7 +138,7 @@ func (t *Trace) DownloadTime(start, kilobits float64) float64 {
 		pos = 0
 		// Whole additional passes.
 		passes := math.Floor(kilobits / perPass)
-		if kilobits == passes*perPass {
+		if kilobits == passes*perPass { //lint:allow floateq exact pass-boundary landing; both sides derive from the same floor()
 			passes-- // land exactly at a pass boundary: finish within the last one
 		}
 		if passes > 0 {

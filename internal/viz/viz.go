@@ -32,7 +32,7 @@ func Sparkline(values []float64) string {
 		switch {
 		case math.IsNaN(v) || math.IsInf(v, 0):
 			b.WriteRune(' ')
-		case hi == lo:
+		case hi == lo: //lint:allow floateq degenerate-range guard; exact equality is the definition
 			b.WriteRune(sparkRunes[len(sparkRunes)/2])
 		default:
 			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
@@ -99,10 +99,10 @@ func Plot(series []Series, rows, cols int) string {
 	if !any {
 		return "(no data)\n"
 	}
-	if xhi == xlo {
+	if xhi == xlo { //lint:allow floateq degenerate-range guard before division
 		xhi = xlo + 1
 	}
-	if yhi == ylo {
+	if yhi == ylo { //lint:allow floateq degenerate-range guard before division
 		yhi = ylo + 1
 	}
 	grid := make([][]rune, rows)

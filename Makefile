@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fixtures verify trace-demo fleet-demo
+.PHONY: build test race vet lint lint-fixtures verify bench-solver trace-demo fleet-demo
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,12 @@ verify:
 	$(GO) vet ./...
 	$(GO) run ./cmd/mpclint ./...
 	$(GO) test -race ./...
+
+# bench-solver measures the MPC solver hot path (ns/op, allocs/op) and the
+# cold vs warm FastMPC table cache, writes BENCH_solver.json, and fails if
+# the zero-allocation or warm-beats-cold budget is blown.
+bench-solver:
+	$(GO) test -run TestSolverPerformance -count=1 -v .
 
 # trace-demo plays the loopback emulation and writes a Chrome trace-event
 # timeline; open trace_demo.json in chrome://tracing or ui.perfetto.dev.

@@ -1,0 +1,187 @@
+// Solver hot-path benchmarks (the tentpole budget): per-chunk decision
+// latency and allocations for the exact MPC solver, and cold-vs-warm
+// FastMPC table acquisition through the content-addressed cache.
+// TestSolverPerformance writes the measured numbers to BENCH_solver.json
+// (see `make bench-solver`) and asserts the two hard budgets: the
+// steady-state scratch path allocates nothing, and a warm disk cache is
+// faster than an offline rebuild.
+package mpcdash_test
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/core"
+	"mpcdash/internal/fastmpc"
+	"mpcdash/internal/model"
+)
+
+// raceEnabled is set by race_enabled_test.go under `go test -race`.
+var raceEnabled bool
+
+func solverOptimizer(b testing.TB) *core.Optimizer {
+	opt, err := core.NewOptimizer(model.EnvivioManifest(), model.Balanced, model.QIdentity, 30, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return opt
+}
+
+// solverSpec is the paper's full 100×100 binning over the Envivio ladder.
+func solverSpec() fastmpc.BinSpec {
+	return fastmpc.DefaultBins(30, 3000)
+}
+
+func solverState() abr.State {
+	return abr.State{Chunk: 30, Buffer: 14.2, Prev: 2, Forecast: []float64{1740, 1740, 1740, 1740, 1740}}
+}
+
+// BenchmarkSolver_PlanScratchSteadyState is the per-chunk decision with an
+// explicit warmed Scratch — the zero-allocation contract.
+func BenchmarkSolver_PlanScratchSteadyState(b *testing.B) {
+	opt := solverOptimizer(b)
+	st := solverState()
+	var s core.Scratch
+	opt.PlanScratch(&s, st.Chunk, st.Buffer, st.Prev, st.Forecast, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.PlanScratch(&s, st.Chunk, st.Buffer, st.Prev, st.Forecast, false)
+	}
+}
+
+// BenchmarkSolver_PlanPooled is the same decision through the pooled Plan
+// entry point (callers without their own Scratch).
+func BenchmarkSolver_PlanPooled(b *testing.B) {
+	opt := solverOptimizer(b)
+	st := solverState()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Plan(st.Chunk, st.Buffer, st.Prev, st.Forecast, false)
+	}
+}
+
+// BenchmarkSolver_MPCDecide is the full controller hot path every
+// simulated session takes per chunk.
+func BenchmarkSolver_MPCDecide(b *testing.B) {
+	ctrl := core.NewMPC(model.Balanced, model.QIdentity, 30, 5)(model.EnvivioManifest())
+	st := solverState()
+	ctrl.Decide(st)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Decide(st)
+	}
+}
+
+// BenchmarkSolver_TableBuildCold is the offline enumeration a cold start
+// pays: the full 100×L×100 state space solved exactly.
+func BenchmarkSolver_TableBuildCold(b *testing.B) {
+	opt := solverOptimizer(b)
+	spec := solverSpec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fastmpc.Build(opt, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolver_TableCacheMemoryWarm is a registry hit after the first
+// population built the table: the path N fleet populations share.
+func BenchmarkSolver_TableCacheMemoryWarm(b *testing.B) {
+	reg := fastmpc.NewRegistry()
+	opt := solverOptimizer(b)
+	spec := solverSpec()
+	if _, err := reg.Table(opt, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := reg.Table(opt, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolver_TableCacheDiskWarm is a fresh process finding the table
+// on disk: header-validated read + deserialize instead of the build.
+func BenchmarkSolver_TableCacheDiskWarm(b *testing.B) {
+	dir := b.TempDir()
+	opt := solverOptimizer(b)
+	spec := solverSpec()
+	prime := fastmpc.NewRegistry()
+	prime.SetDir(dir)
+	if _, err := prime.Table(opt, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		reg := fastmpc.NewRegistry()
+		reg.SetDir(dir)
+		if _, err := reg.Table(opt, spec); err != nil {
+			b.Fatal(err)
+		}
+		if reg.Stats().DiskHits != 1 {
+			b.Fatal("disk cache missed")
+		}
+	}
+}
+
+// TestSolverPerformance measures the solver budgets and writes
+// BENCH_solver.json. Asserted: the steady-state scratch path is
+// allocation-free, and loading a warm disk cache beats rebuilding.
+func TestSolverPerformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark report; skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the timings; BENCH_solver.json is generated without -race")
+	}
+	scratch := testing.Benchmark(BenchmarkSolver_PlanScratchSteadyState)
+	pooled := testing.Benchmark(BenchmarkSolver_PlanPooled)
+	decide := testing.Benchmark(BenchmarkSolver_MPCDecide)
+	cold := testing.Benchmark(BenchmarkSolver_TableBuildCold)
+	memWarm := testing.Benchmark(BenchmarkSolver_TableCacheMemoryWarm)
+	diskWarm := testing.Benchmark(BenchmarkSolver_TableCacheDiskWarm)
+
+	t.Logf("PlanScratch %d ns/op %d allocs/op; Plan (pooled) %d ns/op; Decide %d ns/op %d allocs/op",
+		scratch.NsPerOp(), scratch.AllocsPerOp(), pooled.NsPerOp(), decide.NsPerOp(), decide.AllocsPerOp())
+	t.Logf("table: cold build %d ns/op, memory-warm %d ns/op, disk-warm %d ns/op",
+		cold.NsPerOp(), memWarm.NsPerOp(), diskWarm.NsPerOp())
+
+	if scratch.AllocsPerOp() != 0 {
+		t.Errorf("steady-state PlanScratch allocates %d objects/op, want 0", scratch.AllocsPerOp())
+	}
+	if decide.AllocsPerOp() != 0 {
+		t.Errorf("steady-state MPC.Decide allocates %d objects/op, want 0", decide.AllocsPerOp())
+	}
+	if diskWarm.NsPerOp() >= cold.NsPerOp() {
+		t.Errorf("warm disk cache (%d ns/op) is not faster than a cold build (%d ns/op)",
+			diskWarm.NsPerOp(), cold.NsPerOp())
+	}
+
+	report, err := json.MarshalIndent(map[string]any{
+		"benchmark":               "Envivio manifest, horizon 5, paper 100×100 bins",
+		"plan_scratch_ns_op":      scratch.NsPerOp(),
+		"plan_scratch_allocs_op":  scratch.AllocsPerOp(),
+		"plan_pooled_ns_op":       pooled.NsPerOp(),
+		"mpc_decide_ns_op":        decide.NsPerOp(),
+		"mpc_decide_allocs_op":    decide.AllocsPerOp(),
+		"table_build_cold_ns_op":  cold.NsPerOp(),
+		"table_memory_warm_ns_op": memWarm.NsPerOp(),
+		"table_disk_warm_ns_op":   diskWarm.NsPerOp(),
+		"table_disk_warm_speedup": float64(cold.NsPerOp()) / float64(diskWarm.NsPerOp()),
+		"budget":                  "plan_scratch_allocs_op == 0 && mpc_decide_allocs_op == 0 && disk warm < cold build",
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_solver.json", append(report, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

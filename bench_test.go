@@ -385,6 +385,9 @@ func TestObsOverheadBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing assertion; skipped in -short mode")
 	}
+	if raceEnabled {
+		t.Skip("race instrumentation skews the timings; BENCH_obs.json is generated without -race")
+	}
 	const trials = 4
 	best := [4]float64{math.Inf(1), math.Inf(1), math.Inf(1), math.Inf(1)}
 	makers := []func() *obs.Recorder{

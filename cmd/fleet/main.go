@@ -23,6 +23,7 @@ import (
 	"os/signal"
 	"time"
 
+	"mpcdash/internal/fastmpc"
 	"mpcdash/internal/fleet"
 	"mpcdash/internal/obs"
 )
@@ -35,6 +36,7 @@ func main() {
 		seed          = flag.Int64("seed", 0, "override the scenario seed (0 = keep the file's seed)")
 		workers       = flag.Int("workers", 0, "worker goroutines per population (0 = auto)")
 		emuTimeScale  = flag.Float64("emu-timescale", 0, "wall-clock compression for the emu backend (0 = default)")
+		tableCache    = flag.String("table-cache", "", "directory for the content-addressed FastMPC table cache; warm runs skip the table build (empty = disabled)")
 		reportOut     = flag.String("report", "", "write the JSON report to this file")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address during the run (empty = disabled)")
 		printScenario = flag.Bool("print-scenario", false, "print the effective scenario as JSON and exit")
@@ -60,9 +62,10 @@ func main() {
 	}
 
 	opt := fleet.Options{
-		Backend:      *backend,
-		Workers:      *workers,
-		EmuTimeScale: *emuTimeScale,
+		Backend:       *backend,
+		Workers:       *workers,
+		EmuTimeScale:  *emuTimeScale,
+		TableCacheDir: *tableCache,
 	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
@@ -109,6 +112,10 @@ func main() {
 	}
 	fmt.Printf("\n%d sessions in %.2f s (%.0f sessions/s)\n",
 		completed, elapsed.Seconds(), float64(completed)/elapsed.Seconds())
+	if st := fastmpc.TableCacheStats(); st.Builds+st.DiskHits+st.MemoryHits > 0 {
+		fmt.Printf("fastmpc tables: %d built, %d loaded from %s, %d shared in-process\n",
+			st.Builds, st.DiskHits, cacheName(*tableCache), st.MemoryHits)
+	}
 
 	if *reportOut != "" {
 		b, err := rep.JSON()
@@ -123,6 +130,13 @@ func main() {
 	if runErr != nil {
 		os.Exit(130)
 	}
+}
+
+func cacheName(dir string) string {
+	if dir == "" {
+		return "disk (disabled)"
+	}
+	return dir
 }
 
 func fatal(err error) {

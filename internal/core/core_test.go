@@ -453,18 +453,20 @@ func TestPlanUsesVBRSizes(t *testing.T) {
 }
 
 // TestHorizonRatesPadding: short forecasts extend with the last value, and
-// non-positive entries inherit their predecessor.
+// non-positive entries inherit their predecessor. The padded rates live in
+// the solve's Scratch, where the test can observe them.
 func TestHorizonRatesPadding(t *testing.T) {
 	opt := newOpt(t, 5)
-	rates := opt.horizonRates([]float64{1000, 0, 2000}, 5)
+	var s Scratch
+	opt.PlanScratch(&s, 0, 10, -1, []float64{1000, 0, 2000}, false)
 	want := []float64{1000, 1000, 2000, 2000, 2000}
 	for i := range want {
-		if math.Abs(rates[i]-want[i]) > 1e-9 {
-			t.Fatalf("rates = %v, want %v", rates, want)
+		if math.Abs(s.rates[i]-want[i]) > 1e-9 {
+			t.Fatalf("rates = %v, want %v", s.rates[:len(want)], want)
 		}
 	}
-	floor := opt.horizonRates(nil, 2)
-	for _, r := range floor {
+	opt.PlanScratch(&s, 0, 10, -1, nil, false)
+	for _, r := range s.rates {
 		if r <= 0 {
 			t.Errorf("empty forecast should floor at a positive epsilon, got %v", r)
 		}

@@ -14,6 +14,11 @@ type MPC struct {
 	Opt    *Optimizer
 	Robust bool
 	Label  string // display name; defaults to "MPC" / "RobustMPC"
+
+	// scratch is the controller's reusable solver memory: one MPC drives
+	// one session sequentially, so holding it here makes the per-chunk
+	// decision allocation-free.
+	scratch Scratch
 }
 
 // NewMPC returns a Factory for the basic MPC controller with horizon N
@@ -75,6 +80,6 @@ func (c *MPC) Decide(s abr.State) abr.Decision {
 	if c.Robust && len(s.Lower) > 0 {
 		forecast = s.Lower
 	}
-	level, ts, _ := c.Opt.Plan(s.Chunk, s.Buffer, s.Prev, forecast, s.Startup)
+	level, ts, _ := c.Opt.PlanScratch(&c.scratch, s.Chunk, s.Buffer, s.Prev, forecast, s.Startup)
 	return abr.Decision{Level: level, Startup: ts}
 }

@@ -78,7 +78,25 @@ func NewOptimizer(m *model.Manifest, w model.Weights, q model.QualityFunc, buffe
 // With startup set it also optimizes the startup delay Ts (B_k = Ts,
 // objective −µs·Ts). It returns the optimal first level, the chosen Ts
 // (0 in steady state) and the achieved horizon QoE.
+//
+// Plan draws its working memory from a shared pool, so it allocates
+// nothing in the steady state and is safe for concurrent use. Callers
+// making one decision per chunk should hold a Scratch and use PlanScratch
+// for a strictly allocation-free hot path.
 func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, startup bool) (level int, ts float64, qoe float64) {
+	s := scratchPool.Get().(*Scratch)
+	level, ts, qoe = o.PlanScratch(s, k, buffer, prev, forecast, startup)
+	scratchPool.Put(s)
+	return level, ts, qoe
+}
+
+// PlanScratch is Plan solving into caller-owned working memory: with a
+// reused Scratch the steady-state decision performs zero heap allocations.
+// The Scratch must not be shared between concurrent solves.
+func (o *Optimizer) PlanScratch(s *Scratch, k int, buffer float64, prev int, forecast []float64, startup bool) (level int, ts float64, qoe float64) {
+	if s == nil {
+		s = new(Scratch)
+	}
 	steps := o.Horizon
 	if rem := o.Manifest.ChunkCount - k; rem < steps {
 		steps = rem
@@ -86,14 +104,48 @@ func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, st
 	if steps <= 0 {
 		return 0, 0, 0
 	}
-	rates := o.horizonRates(forecast, steps)
+	levels := o.Manifest.Levels()
+	// Lookup-table callers clamp an out-of-ladder previous level; the exact
+	// solver must agree rather than index out of range.
+	if prev >= levels {
+		prev = levels - 1
+	}
+	s.grow(steps, levels)
+
+	// Hoist the per-level quality out of the enumeration: the DFS visits
+	// O(levels^steps) nodes, each of which previously paid two QualityFunc
+	// calls.
+	qMax := math.Inf(-1)
+	for lvl := 0; lvl < levels; lvl++ {
+		s.qual[lvl] = o.Quality(o.Manifest.Ladder[lvl])
+		qMax = math.Max(qMax, s.qual[lvl])
+	}
+
+	// Pad or truncate the forecast to exactly steps entries, extending with
+	// the final value and flooring at minRate.
+	last := minRate
+	for i := 0; i < steps; i++ {
+		if i < len(forecast) && forecast[i] > 0 {
+			last = forecast[i]
+		}
+		s.rates[i] = math.Max(last, minRate)
+	}
+
+	// optimistic[d] bounds the QoE attainable from depth d onward,
+	// including the terminal buffer reward (at most the buffer cap).
+	s.optimistic[steps] = o.TerminalBufferWeight * o.BufferMax
+	for d := steps - 1; d >= 0; d-- {
+		s.optimistic[d] = s.optimistic[d+1] + qMax
+	}
 
 	if !startup {
-		lvl, q := o.search(k, buffer, prev, rates, steps)
+		lvl, q := o.search(s, k, buffer, prev, steps, levels)
 		return lvl, 0, q
 	}
 
-	// Startup: grid-search Ts jointly with the bitrate plan.
+	// Startup: grid-search Ts jointly with the bitrate plan. The grid is
+	// indexed by integer multiple — accumulating t += step in floating
+	// point drifts for non-dyadic steps and can skip the final point.
 	bestLevel, bestTs, bestQoE := 0, 0.0, math.Inf(-1)
 	step := o.TsStep
 	if step <= 0 {
@@ -103,8 +155,10 @@ func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, st
 	if max <= 0 {
 		max = o.BufferMax
 	}
-	for t := 0.0; t <= max+1e-9; t += step {
-		lvl, q := o.search(k, t, prev, rates, steps)
+	n := int((max + 1e-9) / step)
+	for i := 0; i <= n; i++ {
+		t := float64(i) * step
+		lvl, q := o.search(s, k, t, prev, steps, levels)
 		q -= o.Weights.MuS * t
 		// With µ = µs, trading startup delay for first-chunk stall is QoE
 		// neutral; among (near-)ties prefer the larger Ts, i.e. start
@@ -116,71 +170,63 @@ func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, st
 	return bestLevel, bestTs, bestQoE
 }
 
-// horizonRates pads or truncates the forecast to exactly n entries,
-// extending with the final value and flooring at minRate.
-func (o *Optimizer) horizonRates(forecast []float64, n int) []float64 {
-	rates := make([]float64, n)
-	last := minRate
-	for i := 0; i < n; i++ {
-		if i < len(forecast) && forecast[i] > 0 {
-			last = forecast[i]
-		}
-		rates[i] = math.Max(last, minRate)
-	}
-	return rates
-}
-
 // search exhaustively maximizes the horizon QoE by depth-first enumeration
 // with branch-and-bound: a partial plan is abandoned when even rebuffer-free
 // maximum-quality completion cannot beat the incumbent. Ties break toward
 // the lower level because ascending iteration only replaces on strict
-// improvement.
-func (o *Optimizer) search(k int, buffer float64, prev int, rates []float64, steps int) (int, float64) {
-	levels := o.Manifest.Levels()
-	qMax := o.Quality(o.Manifest.Ladder.Max())
-	// optimistic[d] bounds the QoE attainable from depth d onward,
-	// including the terminal buffer reward (at most the buffer cap).
-	optimistic := make([]float64, steps+1)
-	optimistic[steps] = o.TerminalBufferWeight * o.BufferMax
-	for d := steps - 1; d >= 0; d-- {
-		optimistic[d] = optimistic[d+1] + qMax
-	}
+// improvement. The traversal is iterative over the Scratch's explicit
+// stacks — same visit order as the recursive formulation, node for node,
+// without the closure and call-frame allocations.
+func (o *Optimizer) search(s *Scratch, k int, buffer float64, prev int, steps, levels int) (int, float64) {
+	man := o.Manifest
+	chunkDur := man.ChunkDuration
+	bufMax := o.BufferMax
+	mu, lambda := o.Weights.Mu, o.Weights.Lambda
+	prune := !o.DisablePruning
+	rates, qual, optimistic := s.rates, s.qual, s.optimistic
+	buf, acc, prv, choice, next := s.buf, s.acc, s.prv, s.choice, s.next
 
 	bestFirst, bestQoE := 0, math.Inf(-1)
-	// plan[d] is the level chosen at depth d for reporting the first move.
-	var dfs func(d int, buf float64, prevLvl int, acc float64, first int)
-	dfs = func(d int, buf float64, prevLvl int, acc float64, first int) {
+	buf[0], acc[0], prv[0] = buffer, 0, prev
+	next[0] = 0
+	d := 0
+	for d >= 0 {
 		if d == steps {
-			acc += o.TerminalBufferWeight * buf
-			if acc > bestQoE {
-				bestQoE = acc
-				bestFirst = first
+			total := acc[d] + o.TerminalBufferWeight*buf[d]
+			if total > bestQoE {
+				bestQoE = total
+				bestFirst = choice[0]
 			}
-			return
+			d--
+			continue
 		}
-		if !o.DisablePruning && acc+optimistic[d] <= bestQoE {
-			return // even a perfect completion cannot win
+		if next[d] == 0 && prune && acc[d]+optimistic[d] <= bestQoE {
+			d-- // even a perfect completion cannot win
+			continue
 		}
-		chunk := k + d
-		for lvl := 0; lvl < levels; lvl++ {
-			size := o.Manifest.ChunkSize(chunk, lvl)
-			dl := size / rates[d]
-			rebuffer := math.Max(dl-buf, 0)
-			afterDrain := math.Max(buf-dl, 0) + o.Manifest.ChunkDuration
-			wait := math.Max(afterDrain-o.BufferMax, 0)
-			next := afterDrain - wait
+		lvl := next[d]
+		if lvl == levels {
+			d-- // all levels tried at this depth
+			continue
+		}
+		next[d] = lvl + 1
 
-			gain := o.Quality(o.Manifest.Ladder[lvl]) - o.Weights.Mu*rebuffer
-			if prevLvl >= 0 {
-				gain -= o.Weights.Lambda * math.Abs(o.Quality(o.Manifest.Ladder[lvl])-o.Quality(o.Manifest.Ladder[prevLvl]))
-			}
-			f := first
-			if d == 0 {
-				f = lvl
-			}
-			dfs(d+1, next, lvl, acc+gain, f)
+		size := man.ChunkSize(k+d, lvl)
+		dl := size / rates[d]
+		rebuffer := math.Max(dl-buf[d], 0)
+		afterDrain := math.Max(buf[d]-dl, 0) + chunkDur
+		wait := math.Max(afterDrain-bufMax, 0)
+
+		gain := qual[lvl] - mu*rebuffer
+		if p := prv[d]; p >= 0 {
+			gain -= lambda * math.Abs(qual[lvl]-qual[p])
 		}
+		choice[d] = lvl
+		buf[d+1] = afterDrain - wait
+		acc[d+1] = acc[d] + gain
+		prv[d+1] = lvl
+		next[d+1] = 0
+		d++
 	}
-	dfs(0, buffer, prev, 0, 0)
 	return bestFirst, bestQoE
 }

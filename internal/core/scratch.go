@@ -1,0 +1,61 @@
+package core
+
+import "sync"
+
+// Scratch holds the reusable working memory for one Plan solve: the padded
+// horizon forecast, the branch-and-bound optimistic bounds, the per-level
+// quality values hoisted out of the enumeration, and the explicit
+// depth-first traversal stacks that replace the recursive closure. A
+// Scratch grows to fit the largest (horizon, ladder) it has seen and is
+// then reused allocation-free; the zero value is ready to use.
+//
+// A Scratch is owned by exactly one goroutine at a time. Optimizer.Plan
+// draws one from an internal pool, so it stays safe for concurrent use;
+// hot paths that make one decision per chunk (the MPC controller, the
+// FastMPC table builder workers) hold their own Scratch and call
+// Optimizer.PlanScratch directly for a zero-allocation steady state.
+type Scratch struct {
+	rates      []float64 // horizon forecast, padded and floored at minRate
+	optimistic []float64 // optimistic[d]: QoE bound attainable from depth d
+	qual       []float64 // Quality(Ladder[lvl]) per level, computed per solve
+
+	// Iterative DFS stacks, indexed by depth d ∈ [0, steps].
+	buf    []float64 // buffer level entering depth d
+	acc    []float64 // QoE accumulated entering depth d
+	prv    []int     // previous level entering depth d (−1 = none)
+	choice []int     // level currently taken at depth d
+	next   []int     // next level to try at depth d
+}
+
+// grow sizes every buffer for a solve of the given depth and ladder size,
+// reusing existing capacity.
+func (s *Scratch) grow(steps, levels int) {
+	s.rates = growFloats(s.rates, steps)
+	s.optimistic = growFloats(s.optimistic, steps+1)
+	s.qual = growFloats(s.qual, levels)
+	s.buf = growFloats(s.buf, steps+1)
+	s.acc = growFloats(s.acc, steps+1)
+	s.prv = growInts(s.prv, steps+1)
+	s.choice = growInts(s.choice, steps+1)
+	s.next = growInts(s.next, steps+1)
+}
+
+func growFloats(b []float64, n int) []float64 {
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+func growInts(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
+}
+
+// scratchPool backs the allocation-compatible Plan entry point: callers
+// that do not manage a Scratch of their own share pooled ones, so repeated
+// Plan calls stay allocation-free in the steady state while remaining safe
+// to issue from many goroutines (the table builder's worker fan-out).
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}

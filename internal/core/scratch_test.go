@@ -1,0 +1,217 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mpcdash/internal/abr"
+	"mpcdash/internal/model"
+)
+
+// stateForBench is a representative steady-state decision point.
+func stateForBench() abr.State {
+	return abr.State{Chunk: 30, Buffer: 14.2, Prev: 2, Forecast: []float64{1740, 1740, 1740, 1740, 1740}}
+}
+
+// refSearch is the original recursive closure formulation of the horizon
+// enumeration, kept verbatim as the behavioural reference: the iterative
+// scratch-based solver must visit the same nodes in the same order and
+// return bit-identical results.
+func refSearch(o *Optimizer, k int, buffer float64, prev int, rates []float64, steps int) (int, float64) {
+	levels := o.Manifest.Levels()
+	qMax := math.Inf(-1)
+	for lvl := 0; lvl < levels; lvl++ {
+		qMax = math.Max(qMax, o.Quality(o.Manifest.Ladder[lvl]))
+	}
+	optimistic := make([]float64, steps+1)
+	optimistic[steps] = o.TerminalBufferWeight * o.BufferMax
+	for d := steps - 1; d >= 0; d-- {
+		optimistic[d] = optimistic[d+1] + qMax
+	}
+	bestFirst, bestQoE := 0, math.Inf(-1)
+	var dfs func(d int, buf float64, prevLvl int, acc float64, first int)
+	dfs = func(d int, buf float64, prevLvl int, acc float64, first int) {
+		if d == steps {
+			acc += o.TerminalBufferWeight * buf
+			if acc > bestQoE {
+				bestQoE = acc
+				bestFirst = first
+			}
+			return
+		}
+		if !o.DisablePruning && acc+optimistic[d] <= bestQoE {
+			return
+		}
+		for lvl := 0; lvl < levels; lvl++ {
+			size := o.Manifest.ChunkSize(k+d, lvl)
+			dl := size / rates[d]
+			rebuffer := math.Max(dl-buf, 0)
+			afterDrain := math.Max(buf-dl, 0) + o.Manifest.ChunkDuration
+			wait := math.Max(afterDrain-o.BufferMax, 0)
+			gain := o.Quality(o.Manifest.Ladder[lvl]) - o.Weights.Mu*rebuffer
+			if prevLvl >= 0 {
+				gain -= o.Weights.Lambda * math.Abs(o.Quality(o.Manifest.Ladder[lvl])-o.Quality(o.Manifest.Ladder[prevLvl]))
+			}
+			f := first
+			if d == 0 {
+				f = lvl
+			}
+			dfs(d+1, afterDrain-wait, lvl, acc+gain, f)
+		}
+	}
+	dfs(0, buffer, prev, 0, 0)
+	return bestFirst, bestQoE
+}
+
+// refPlan wraps refSearch with the original padding logic for steady-state
+// solves.
+func refPlan(o *Optimizer, k int, buffer float64, prev int, forecast []float64) (int, float64) {
+	steps := o.Horizon
+	if rem := o.Manifest.ChunkCount - k; rem < steps {
+		steps = rem
+	}
+	rates := make([]float64, steps)
+	last := minRate
+	for i := 0; i < steps; i++ {
+		if i < len(forecast) && forecast[i] > 0 {
+			last = forecast[i]
+		}
+		rates[i] = math.Max(last, minRate)
+	}
+	return refSearch(o, k, buffer, prev, rates, steps)
+}
+
+// TestIterativeSearchMatchesRecursive: the explicit-stack DFS is a
+// mechanical transformation of the recursion, so on a large random state
+// sweep both must agree exactly — same level, same QoE bits.
+func TestIterativeSearchMatchesRecursive(t *testing.T) {
+	m := model.EnvivioManifest()
+	rng := rand.New(rand.NewSource(11))
+	for _, pruning := range []bool{false, true} {
+		for _, weights := range []model.Weights{model.Balanced, model.AvoidInstability, {Lambda: 1, Mu: 3000, MuS: 3000}} {
+			opt, err := NewOptimizer(m, weights, model.QIdentity, 30, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opt.DisablePruning = !pruning
+			opt.TerminalBufferWeight = float64(rng.Intn(2)) * 0.1
+			var s Scratch
+			for i := 0; i < 400; i++ {
+				k := rng.Intn(m.ChunkCount)
+				buffer := rng.Float64() * 35
+				prev := rng.Intn(m.Levels()+1) - 1
+				forecast := make([]float64, rng.Intn(6))
+				for j := range forecast {
+					forecast[j] = rng.Float64() * 6000
+				}
+				wantLvl, wantQoE := refPlan(opt, k, buffer, prev, forecast)
+				gotLvl, ts, gotQoE := opt.PlanScratch(&s, k, buffer, prev, forecast, false)
+				if gotLvl != wantLvl || gotQoE != wantQoE { //lint:allow floateq bit-identical QoE is the point: same arithmetic in a different control flow
+					t.Fatalf("pruning=%v state(k=%d,B=%.3f,prev=%d,f=%v): iterative (%d, %v) != recursive (%d, %v)",
+						pruning, k, buffer, prev, forecast, gotLvl, gotQoE, wantLvl, wantQoE)
+				}
+				if ts != 0 { //lint:allow floateq steady-state Ts is the exact constant 0
+					t.Fatalf("steady-state Ts = %v, want 0", ts)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanMatchesPlanScratch: the pooled entry point and an explicit
+// scratch produce identical results.
+func TestPlanMatchesPlanScratch(t *testing.T) {
+	opt := newOpt(t, 5)
+	var s Scratch
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		k := rng.Intn(65)
+		buffer := rng.Float64() * 30
+		prev := rng.Intn(6) - 1
+		forecast := []float64{rng.Float64() * 5000}
+		startup := i%4 == 0 && k == 0
+		l1, t1, q1 := opt.Plan(k, buffer, prev, forecast, startup)
+		l2, t2, q2 := opt.PlanScratch(&s, k, buffer, prev, forecast, startup)
+		if l1 != l2 || t1 != t2 || q1 != q2 { //lint:allow floateq same solver, same inputs: bit-identical by construction
+			t.Fatalf("Plan (%d,%v,%v) != PlanScratch (%d,%v,%v)", l1, t1, q1, l2, t2, q2)
+		}
+	}
+}
+
+// TestPlanClampsPreviousLevel: a previous level at or beyond the ladder
+// size must clamp to the top rung — Table.Lookup already clamps the same
+// input, and the exact solver used to panic with index out of range.
+func TestPlanClampsPreviousLevel(t *testing.T) {
+	opt := newOpt(t, 5)
+	top := opt.Manifest.Levels() - 1
+	wantLvl, _, wantQoE := opt.Plan(10, 14.2, top, []float64{1740}, false)
+	for _, prev := range []int{top + 1, top + 37, 1 << 20} {
+		gotLvl, _, gotQoE := opt.Plan(10, 14.2, prev, []float64{1740}, false)
+		if gotLvl != wantLvl || gotQoE != wantQoE { //lint:allow floateq clamped input must take the identical solve path
+			t.Errorf("prev=%d: (%d, %v), want clamp to prev=%d: (%d, %v)", prev, gotLvl, gotQoE, top, wantLvl, wantQoE)
+		}
+	}
+}
+
+// TestStartupGridExact: the Ts grid is generated by integer multiples of
+// TsStep, so a non-dyadic step (0.1) cannot drift — the chosen Ts is
+// always bit-identical to float64(i)*TsStep for some integer i, and the
+// final grid point is reachable.
+func TestStartupGridExact(t *testing.T) {
+	opt := newOpt(t, 5)
+	opt.TsStep = 0.1
+	opt.TsMax = 30
+	// MuS = 0 makes startup delay free; the tie rule prefers the larger
+	// Ts, so the solver must reach the last grid point exactly.
+	opt.Weights.MuS = 0
+	_, ts, _ := opt.Plan(0, 0, -1, []float64{1740}, true)
+	if want := float64(300) * 0.1; ts != want { //lint:allow floateq the grid point must be the exact product, not an accumulated sum
+		t.Errorf("Ts = %v, want the exact final grid point %v", ts, want)
+	}
+	// Sanity: every grid point is an exact multiple of the step.
+	opt.Weights.MuS = 3000
+	_, ts, _ = opt.Plan(0, 0, -1, []float64{900}, true)
+	i := math.Round(ts / 0.1)
+	if ts != float64(i)*0.1 { //lint:allow floateq grid points are defined as exact products
+		t.Errorf("Ts = %v is not an exact multiple of the 0.1 grid step", ts)
+	}
+}
+
+// TestPlanScratchZeroAllocs is the allocation budget of the tentpole: the
+// steady-state decision with a warmed Scratch performs zero heap
+// allocations per solve.
+func TestPlanScratchZeroAllocs(t *testing.T) {
+	opt := newOpt(t, 5)
+	var s Scratch
+	forecast := []float64{1740, 1740, 1740, 1740, 1740}
+	opt.PlanScratch(&s, 30, 14.2, 2, forecast, false) // warm the scratch
+	allocs := testing.AllocsPerRun(200, func() {
+		opt.PlanScratch(&s, 30, 14.2, 2, forecast, false)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state PlanScratch allocates %.2f objects/op, want 0", allocs)
+	}
+	// The startup grid search reuses the same scratch across the whole
+	// Ts sweep and must be allocation-free too.
+	opt.PlanScratch(&s, 0, 0, -1, forecast, true)
+	allocs = testing.AllocsPerRun(50, func() {
+		opt.PlanScratch(&s, 0, 0, -1, forecast, true)
+	})
+	if allocs != 0 {
+		t.Errorf("startup PlanScratch allocates %.2f objects/op, want 0", allocs)
+	}
+}
+
+// TestMPCDecideZeroAllocs: the full controller Decide path (the per-chunk
+// hot path of every simulated session) stays allocation-free once its
+// scratch is warm.
+func TestMPCDecideZeroAllocs(t *testing.T) {
+	ctrl := NewMPC(model.Balanced, model.QIdentity, 30, 5)(model.EnvivioManifest())
+	st := stateForBench()
+	ctrl.Decide(st) // warm the controller scratch
+	allocs := testing.AllocsPerRun(200, func() { ctrl.Decide(st) })
+	if allocs != 0 {
+		t.Errorf("steady-state MPC.Decide allocates %.2f objects/op, want 0", allocs)
+	}
+}

@@ -22,13 +22,19 @@ type Controller struct {
 	Label  string
 }
 
-// NewController returns a Factory that builds the decision table once per
-// manifest and shares it across sessions (lookups are read-only and safe
-// for concurrent use). Table construction panics on configuration errors,
-// as factories are assembled from validated experiment configs.
+// NewController returns a Factory that resolves the decision table through
+// the shared content-addressed registry and shares it across sessions
+// (lookups are read-only and safe for concurrent use): factories and
+// populations with equal configuration share one build per process, and a
+// configured table-cache directory (SetTableCacheDir) lets repeated runs
+// skip the enumeration entirely. Table construction panics on
+// configuration errors, as factories are assembled from validated
+// experiment configs.
 func NewController(w model.Weights, q model.QualityFunc, bufferMax float64, horizon int, spec *BinSpec, robust bool, label string) abr.Factory {
 	var (
-		mu    sync.Mutex
+		mu sync.Mutex
+		// Per-factory manifest memo: skips re-hashing the manifest for
+		// every session the factory spawns.
 		cache = map[*model.Manifest]*CompressedTable{}
 	)
 	return func(m *model.Manifest) abr.Controller {
@@ -44,11 +50,10 @@ func NewController(w model.Weights, q model.QualityFunc, bufferMax float64, hori
 			if spec != nil {
 				sp = *spec
 			}
-			full, err := Build(opt, sp)
+			table, err = Shared.Table(opt, sp)
 			if err != nil {
 				panic(err)
 			}
-			table = Compress(full)
 			cache[m] = table
 		}
 		return &Controller{Table: table, Robust: robust, Label: label}

@@ -71,20 +71,34 @@ func (c *CompressedTable) Lookup(buffer float64, prev int, predictedKbps float64
 	return int(c.at(i))
 }
 
-// SizeBytes returns the serialized size: 5 bytes per run (uint32 start +
-// uint8 value) plus the 28-byte header.
-func (c *CompressedTable) SizeBytes() int { return 28 + 5*len(c.Starts) }
+// Compressed serialized formats mirror the flat table's: the legacy (v1)
+// 28-byte header stored the BinSpec scalars as float32; the current format
+// is versioned behind its own magic word and stores them as float64 so the
+// round-tripped binning is bit-exact. DeserializeCompressed reads both.
+const (
+	rleMagic     = 0x4D504352 // "MPCR", little-endian on the wire
+	rleVersion   = 2
+	rleHeaderLen = 48 // magic, version, 3×uint32 dims, 3×float64 scalars, run count
 
-// Serialize writes the compressed table.
+	legacyRLEHeaderLen = 28
+)
+
+// SizeBytes returns the serialized size: 5 bytes per run (uint32 start +
+// uint8 value) plus the 48-byte versioned header.
+func (c *CompressedTable) SizeBytes() int { return rleHeaderLen + 5*len(c.Starts) }
+
+// Serialize writes the compressed table in the versioned format.
 func (c *CompressedTable) Serialize() []byte {
-	buf := make([]byte, 28, c.SizeBytes())
-	binary.LittleEndian.PutUint32(buf[0:], uint32(c.Spec.BufferBins))
-	binary.LittleEndian.PutUint32(buf[4:], uint32(c.Spec.RateBins))
-	binary.LittleEndian.PutUint32(buf[8:], uint32(c.Levels))
-	binary.LittleEndian.PutUint32(buf[12:], float32bits(c.Spec.BufferMax))
-	binary.LittleEndian.PutUint32(buf[16:], float32bits(c.Spec.RateMin))
-	binary.LittleEndian.PutUint32(buf[20:], float32bits(c.Spec.RateMax))
-	binary.LittleEndian.PutUint32(buf[24:], uint32(len(c.Starts)))
+	buf := make([]byte, rleHeaderLen, c.SizeBytes())
+	binary.LittleEndian.PutUint32(buf[0:], rleMagic)
+	binary.LittleEndian.PutUint32(buf[4:], rleVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(c.Spec.BufferBins))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(c.Spec.RateBins))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(c.Levels))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(c.Spec.BufferMax))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(c.Spec.RateMin))
+	binary.LittleEndian.PutUint64(buf[36:], math.Float64bits(c.Spec.RateMax))
+	binary.LittleEndian.PutUint32(buf[44:], uint32(len(c.Starts)))
 	var entry [5]byte
 	for r := range c.Starts {
 		binary.LittleEndian.PutUint32(entry[0:], c.Starts[r])
@@ -94,30 +108,49 @@ func (c *CompressedTable) Serialize() []byte {
 	return buf
 }
 
-// DeserializeCompressed reconstructs a compressed table.
+// DeserializeCompressed reconstructs a compressed table from current or
+// legacy v1 blobs (recognized by the absence of the magic word).
 func DeserializeCompressed(data []byte) (*CompressedTable, error) {
-	if len(data) < 28 {
+	if len(data) < legacyRLEHeaderLen {
 		return nil, fmt.Errorf("fastmpc: compressed blob too short (%d bytes)", len(data))
 	}
 	c := &CompressedTable{}
-	c.Spec.BufferBins = int(binary.LittleEndian.Uint32(data[0:]))
-	c.Spec.RateBins = int(binary.LittleEndian.Uint32(data[4:]))
-	c.Levels = int(binary.LittleEndian.Uint32(data[8:]))
-	c.Spec.BufferMax = float64frombits(binary.LittleEndian.Uint32(data[12:]))
-	c.Spec.RateMin = float64frombits(binary.LittleEndian.Uint32(data[16:]))
-	c.Spec.RateMax = float64frombits(binary.LittleEndian.Uint32(data[20:]))
-	runs := int(binary.LittleEndian.Uint32(data[24:]))
-	if c.Spec.BufferBins <= 0 || c.Levels <= 0 || c.Spec.RateBins <= 0 {
-		return nil, fmt.Errorf("fastmpc: compressed blob has invalid dimensions")
+	headerLen := legacyRLEHeaderLen
+	if binary.LittleEndian.Uint32(data[0:]) == rleMagic {
+		if v := binary.LittleEndian.Uint32(data[4:]); v != rleVersion {
+			return nil, fmt.Errorf("fastmpc: compressed blob version %d, want %d", v, rleVersion)
+		}
+		if len(data) < rleHeaderLen {
+			return nil, fmt.Errorf("fastmpc: compressed blob too short (%d bytes)", len(data))
+		}
+		headerLen = rleHeaderLen
+		c.Spec.BufferBins = int(binary.LittleEndian.Uint32(data[8:]))
+		c.Spec.RateBins = int(binary.LittleEndian.Uint32(data[12:]))
+		c.Levels = int(binary.LittleEndian.Uint32(data[16:]))
+		c.Spec.BufferMax = math.Float64frombits(binary.LittleEndian.Uint64(data[20:]))
+		c.Spec.RateMin = math.Float64frombits(binary.LittleEndian.Uint64(data[28:]))
+		c.Spec.RateMax = math.Float64frombits(binary.LittleEndian.Uint64(data[36:]))
+	} else {
+		c.Spec.BufferBins = int(binary.LittleEndian.Uint32(data[0:]))
+		c.Spec.RateBins = int(binary.LittleEndian.Uint32(data[4:]))
+		c.Levels = int(binary.LittleEndian.Uint32(data[8:]))
+		c.Spec.BufferMax = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[12:])))
+		c.Spec.RateMin = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[16:])))
+		c.Spec.RateMax = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[20:])))
 	}
-	if len(data)-28 != 5*runs || runs == 0 {
-		return nil, fmt.Errorf("fastmpc: compressed blob has %d payload bytes, header implies %d runs", len(data)-28, runs)
+	length, err := entryCount(c.Spec.BufferBins, c.Levels, c.Spec.RateBins)
+	if err != nil {
+		return nil, err
 	}
-	c.Length = c.Spec.BufferBins * c.Levels * c.Spec.RateBins
+	c.Length = length
+	runs := int(binary.LittleEndian.Uint32(data[headerLen-4:]))
+	if runs <= 0 || runs > c.Length || len(data)-headerLen != 5*runs {
+		return nil, fmt.Errorf("fastmpc: compressed blob has %d payload bytes, header implies %d runs", len(data)-headerLen, runs)
+	}
 	c.Starts = make([]uint32, runs)
 	c.Values = make([]uint8, runs)
 	for r := 0; r < runs; r++ {
-		off := 28 + 5*r
+		off := headerLen + 5*r
 		c.Starts[r] = binary.LittleEndian.Uint32(data[off:])
 		c.Values[r] = data[off+4]
 	}
@@ -134,6 +167,3 @@ func DeserializeCompressed(data []byte) (*CompressedTable, error) {
 	}
 	return c, nil
 }
-
-func float32bits(f float64) uint32     { return math.Float32bits(float32(f)) }
-func float64frombits(b uint32) float64 { return float64(math.Float32frombits(b)) }

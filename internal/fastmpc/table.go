@@ -72,15 +72,21 @@ func (s BinSpec) RateValue(bin int) float64 {
 	return s.RateMin + (float64(bin)+0.5)*(s.RateMax-s.RateMin)/float64(s.RateBins)
 }
 
+// clampBin maps a fraction of the binned range to a bin index, clamping to
+// [0, bins). The comparisons are ordered so that NaN and ±Inf never reach a
+// float→int conversion — Go leaves the conversion of out-of-range values
+// (including NaN) implementation-defined, which would make the chosen bin
+// platform-dependent. A NaN input (a poisoned trace, a 0/0 throughput
+// sample) deterministically lands in bin 0.
 func clampBin(frac float64, bins int) int {
-	i := int(frac * float64(bins))
-	if i < 0 {
+	v := frac * float64(bins)
+	if !(v > 0) { // NaN, -Inf, negatives and zero
 		return 0
 	}
-	if i >= bins {
+	if v >= float64(bins) { // +Inf and overflow clamp to the top bin
 		return bins - 1
 	}
-	return i
+	return int(v)
 }
 
 // Table is the enumerated decision table. Entries are ladder-level indices
@@ -125,7 +131,9 @@ func Build(opt *core.Optimizer, spec BinSpec) (*Table, error) {
 		Levels:  levels,
 		Entries: make([]uint8, spec.BufferBins*levels*spec.RateBins),
 	}
-	// Parallelize over buffer bins; each worker owns disjoint table rows.
+	// Parallelize over buffer bins; each worker owns disjoint table rows
+	// and its own solver Scratch, so the enumeration allocates nothing
+	// beyond the table itself.
 	var wg sync.WaitGroup
 	workers := runtime.GOMAXPROCS(0)
 	rows := make(chan int)
@@ -133,13 +141,14 @@ func Build(opt *core.Optimizer, spec BinSpec) (*Table, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var scratch core.Scratch
 			forecast := make([]float64, 1)
 			for bBin := range rows {
 				buffer := spec.BufferValue(bBin)
 				for prev := 0; prev < levels; prev++ {
 					for rBin := 0; rBin < spec.RateBins; rBin++ {
 						forecast[0] = spec.RateValue(rBin)
-						lvl, _, _ := opt.Plan(0, buffer, prev, forecast, false)
+						lvl, _, _ := opt.PlanScratch(&scratch, 0, buffer, prev, forecast, false)
 						t.Entries[t.index(bBin, prev, rBin)] = uint8(lvl)
 					}
 				}
@@ -161,26 +170,111 @@ func (t *Table) FullSizeBytes(bytesPerEntry int) int {
 	return len(t.Entries) * bytesPerEntry
 }
 
-// Serialize writes the uncompressed table: a 6×uint32 header (buffer bins,
-// rate bins, levels, and the three float32 spec scalars bit-cast) followed
-// by the entries.
-func (t *Table) Serialize() []byte {
-	buf := make([]byte, 0, 24+len(t.Entries))
-	var hdr [24]byte
-	binary.LittleEndian.PutUint32(hdr[0:], uint32(t.Spec.BufferBins))
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(t.Spec.RateBins))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(t.Levels))
-	binary.LittleEndian.PutUint32(hdr[12:], math.Float32bits(float32(t.Spec.BufferMax)))
-	binary.LittleEndian.PutUint32(hdr[16:], math.Float32bits(float32(t.Spec.RateMin)))
-	binary.LittleEndian.PutUint32(hdr[20:], math.Float32bits(float32(t.Spec.RateMax)))
-	buf = append(buf, hdr[:]...)
-	buf = append(buf, t.Entries...)
-	return buf
+// Serialized formats. The legacy (v1) headers stored the three BinSpec
+// scalars as float32: a deserialized table could disagree with the builder's
+// float64 binning at bin edges, so Lookup on the round-tripped table
+// returned a different level than the table it was serialized from. The
+// current format is versioned behind a magic word and stores the scalars as
+// float64 — a round trip is bit-exact. Deserialize still reads v1 blobs.
+const (
+	tableMagic   = 0x4D504354 // "MPCT", little-endian on the wire
+	tableVersion = 2
+
+	tableHeaderLen       = 44 // magic, version, 3×uint32 dims, 3×float64 scalars
+	legacyTableHeaderLen = 24 // 3×uint32 dims, 3×float32 scalars
+)
+
+// maxTableDim bounds each table dimension read from an untrusted header so
+// the entry-count product cannot overflow (2^20 per axis keeps the uint64
+// product below 2^60) and an absurd header fails fast.
+const maxTableDim = 1 << 20
+
+// entryCount validates header dimensions and returns the implied entry
+// count bufferBins·levels·rateBins. The multiplication is overflow-safe: a
+// crafted header with huge dimensions is rejected before the product is
+// trusted, instead of wrapping around int and matching a short payload.
+func entryCount(bufferBins, levels, rateBins int) (int, error) {
+	if bufferBins <= 0 || levels <= 0 || rateBins <= 0 ||
+		bufferBins > maxTableDim || levels > maxTableDim || rateBins > maxTableDim {
+		return 0, fmt.Errorf("fastmpc: table header has invalid dimensions %d×%d×%d", bufferBins, levels, rateBins)
+	}
+	n := uint64(bufferBins) * uint64(levels) * uint64(rateBins)
+	if n > math.MaxInt32 {
+		return 0, fmt.Errorf("fastmpc: table header implies %d entries, beyond the %d cap", n, math.MaxInt32)
+	}
+	return int(n), nil
 }
 
-// Deserialize reconstructs a table from Serialize output.
+// validEntries rejects payload bytes that name a ladder level the header
+// does not have — the cheapest integrity check a corrupted or truncated
+// cache file fails, since valid tables only store levels below Levels.
+func validEntries(entries []uint8, levels int) error {
+	for i, e := range entries {
+		if int(e) >= levels {
+			return fmt.Errorf("fastmpc: table entry %d is level %d, header has %d levels", i, e, levels)
+		}
+	}
+	return nil
+}
+
+// Serialize writes the versioned uncompressed table: the 44-byte v2 header
+// (magic, version, the three dimensions as uint32 and the three BinSpec
+// scalars as float64) followed by the entries.
+func (t *Table) Serialize() []byte {
+	buf := make([]byte, tableHeaderLen, tableHeaderLen+len(t.Entries))
+	binary.LittleEndian.PutUint32(buf[0:], tableMagic)
+	binary.LittleEndian.PutUint32(buf[4:], tableVersion)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(t.Spec.BufferBins))
+	binary.LittleEndian.PutUint32(buf[12:], uint32(t.Spec.RateBins))
+	binary.LittleEndian.PutUint32(buf[16:], uint32(t.Levels))
+	binary.LittleEndian.PutUint64(buf[20:], math.Float64bits(t.Spec.BufferMax))
+	binary.LittleEndian.PutUint64(buf[28:], math.Float64bits(t.Spec.RateMin))
+	binary.LittleEndian.PutUint64(buf[36:], math.Float64bits(t.Spec.RateMax))
+	return append(buf, t.Entries...)
+}
+
+// Deserialize reconstructs a table from Serialize output, current or legacy
+// v1 format (recognized by the absence of the magic word).
 func Deserialize(data []byte) (*Table, error) {
-	if len(data) < 24 {
+	if len(data) >= 8 && binary.LittleEndian.Uint32(data[0:]) == tableMagic {
+		return deserializeV2(data)
+	}
+	return deserializeLegacy(data)
+}
+
+func deserializeV2(data []byte) (*Table, error) {
+	if v := binary.LittleEndian.Uint32(data[4:]); v != tableVersion {
+		return nil, fmt.Errorf("fastmpc: table blob version %d, want %d", v, tableVersion)
+	}
+	if len(data) < tableHeaderLen {
+		return nil, fmt.Errorf("fastmpc: table blob too short (%d bytes)", len(data))
+	}
+	t := &Table{}
+	t.Spec.BufferBins = int(binary.LittleEndian.Uint32(data[8:]))
+	t.Spec.RateBins = int(binary.LittleEndian.Uint32(data[12:]))
+	t.Levels = int(binary.LittleEndian.Uint32(data[16:]))
+	t.Spec.BufferMax = math.Float64frombits(binary.LittleEndian.Uint64(data[20:]))
+	t.Spec.RateMin = math.Float64frombits(binary.LittleEndian.Uint64(data[28:]))
+	t.Spec.RateMax = math.Float64frombits(binary.LittleEndian.Uint64(data[36:]))
+	want, err := entryCount(t.Spec.BufferBins, t.Levels, t.Spec.RateBins)
+	if err != nil {
+		return nil, err
+	}
+	if len(data)-tableHeaderLen != want {
+		return nil, fmt.Errorf("fastmpc: table blob has %d entries, header implies %d", len(data)-tableHeaderLen, want)
+	}
+	if err := validEntries(data[tableHeaderLen:], t.Levels); err != nil {
+		return nil, err
+	}
+	t.Entries = append([]uint8(nil), data[tableHeaderLen:]...)
+	return t, nil
+}
+
+// deserializeLegacy reads the pre-versioning v1 blob. Its float32 scalars
+// are widened back to float64, so a v1 table keeps exactly the (possibly
+// edge-shifted) binning it had when written — re-serialize to upgrade.
+func deserializeLegacy(data []byte) (*Table, error) {
+	if len(data) < legacyTableHeaderLen {
 		return nil, fmt.Errorf("fastmpc: table blob too short (%d bytes)", len(data))
 	}
 	t := &Table{}
@@ -190,10 +284,16 @@ func Deserialize(data []byte) (*Table, error) {
 	t.Spec.BufferMax = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[12:])))
 	t.Spec.RateMin = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[16:])))
 	t.Spec.RateMax = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[20:])))
-	want := t.Spec.BufferBins * t.Levels * t.Spec.RateBins
-	if t.Spec.BufferBins <= 0 || t.Levels <= 0 || t.Spec.RateBins <= 0 || len(data)-24 != want {
-		return nil, fmt.Errorf("fastmpc: table blob has %d entries, header implies %d", len(data)-24, want)
+	want, err := entryCount(t.Spec.BufferBins, t.Levels, t.Spec.RateBins)
+	if err != nil {
+		return nil, err
 	}
-	t.Entries = append([]uint8(nil), data[24:]...)
+	if len(data)-legacyTableHeaderLen != want {
+		return nil, fmt.Errorf("fastmpc: table blob has %d entries, header implies %d", len(data)-legacyTableHeaderLen, want)
+	}
+	if err := validEntries(data[legacyTableHeaderLen:], t.Levels); err != nil {
+		return nil, err
+	}
+	t.Entries = append([]uint8(nil), data[legacyTableHeaderLen:]...)
 	return t, nil
 }

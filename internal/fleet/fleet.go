@@ -19,6 +19,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mpcdash/internal/fastmpc"
 	"mpcdash/internal/model"
 	"mpcdash/internal/obs"
 	"mpcdash/internal/runner"
@@ -57,6 +58,10 @@ type Options struct {
 	// EmuTimeScale compresses emulated sessions (media seconds per wall
 	// second); 0 selects 20.
 	EmuTimeScale float64
+	// TableCacheDir persists content-addressed FastMPC decision tables on
+	// disk so repeated runs skip the offline enumeration. It configures
+	// the process-wide fastmpc table cache; "" leaves the current setting.
+	TableCacheDir string
 }
 
 // Fleet is one prepared scenario run: trace pool and manifest built,
@@ -111,6 +116,9 @@ func New(sc *Scenario, opt Options) (*Fleet, error) {
 	}
 	if opt.EmuTimeScale <= 0 {
 		opt.EmuTimeScale = 20
+	}
+	if opt.TableCacheDir != "" {
+		fastmpc.SetTableCacheDir(opt.TableCacheDir)
 	}
 	v := sc.video()
 	manifest, err := model.NewCBRManifest(model.Ladder(v.LadderKbps), v.Chunks, v.ChunkSec)

@@ -1,6 +1,9 @@
 package model
 
-import "math"
+import (
+	"math"
+	"reflect"
+)
 
 // QualityFunc maps a bitrate in kbps to the perceived quality q(R). The paper
 // requires only that it be non-decreasing; the evaluation uses the identity.
@@ -8,6 +11,19 @@ type QualityFunc func(kbps float64) float64
 
 // QIdentity is q(R) = R, the paper's default.
 func QIdentity(kbps float64) float64 { return kbps }
+
+// QualityID returns a stable, build-independent identifier for a quality
+// function, used to content-address cached FastMPC decision tables. Only
+// QIdentity has one; parameterized families (QLog, QHD) return closures
+// whose captured parameters are invisible from the function value — every
+// QLog(rmin) shares one code pointer — so they get no identity and their
+// tables are never shared or cached.
+func QualityID(q QualityFunc) string {
+	if q != nil && reflect.ValueOf(q).Pointer() == reflect.ValueOf(QIdentity).Pointer() {
+		return "identity"
+	}
+	return ""
+}
 
 // QLog is a logarithmic quality function, q(R) = ln(R/Rmin) scaled to kbps
 // magnitude so QoE weights remain comparable. It models the diminishing

@@ -1,0 +1,22 @@
+package model
+
+import "testing"
+
+// QualityID must name QIdentity and refuse to name closures: Go gives
+// every QLog/QHD instantiation the same code pointer, so two closures
+// with different parameters are indistinguishable by function value and
+// must never share a cache identity.
+func TestQualityID(t *testing.T) {
+	if got := QualityID(QIdentity); got != "identity" {
+		t.Errorf("QualityID(QIdentity) = %q, want \"identity\"", got)
+	}
+	if got := QualityID(nil); got != "" {
+		t.Errorf("QualityID(nil) = %q, want \"\"", got)
+	}
+	if got := QualityID(QLog(100)); got != "" {
+		t.Errorf("QualityID(QLog(100)) = %q, want \"\" (closures have no stable identity)", got)
+	}
+	if got := QualityID(QHD(3000)); got != "" {
+		t.Errorf("QualityID(QHD(3000)) = %q, want \"\"", got)
+	}
+}

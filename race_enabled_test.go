@@ -1,0 +1,5 @@
+//go:build race
+
+package mpcdash_test
+
+func init() { raceEnabled = true }

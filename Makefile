@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fixtures verify bench-solver trace-demo fleet-demo
+.PHONY: build test race vet lint lint-fixtures verify bench-solver bench-svc trace-demo fleet-demo svc-demo
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,12 @@ verify:
 bench-solver:
 	$(GO) test -run TestSolverPerformance -count=1 -v .
 
+# bench-svc load-tests a self-hosted abrd decision service over loopback,
+# writes BENCH_svc.json (decisions/sec, server-side p99), and fails if the
+# 1 ms lookup-path p99 budget is blown.
+bench-svc:
+	$(GO) test -run TestSvcPerformance -count=1 -v .
+
 # trace-demo plays the loopback emulation and writes a Chrome trace-event
 # timeline; open trace_demo.json in chrome://tracing or ui.perfetto.dev.
 trace-demo:
@@ -50,3 +56,10 @@ trace-demo:
 # backend and writes the per-population JSON report.
 fleet-demo:
 	$(GO) run ./cmd/fleet -sessions 10000 -report fleet_report.json
+
+# svc-demo drives 1,200 concurrent sessions (FastMPC and RobustMPC
+# populations) against a self-hosted abrd decision service over loopback
+# HTTP — every per-chunk decision is a /v1/decide round trip — and writes
+# the per-population JSON report.
+svc-demo:
+	$(GO) run ./cmd/fleet -backend svc -sessions 1200 -max-inflight 1200 -report svc_report.json

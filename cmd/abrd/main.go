@@ -1,0 +1,96 @@
+// Command abrd runs the ABR decision service: FastMPC as a control plane.
+// Players (or the fleet's svc backend) register sessions, then ask for
+// each chunk's bitrate over the /v1 JSON API; the server answers at
+// table-lookup cost, sharing one decision table across every session with
+// an equal configuration. SIGINT/SIGTERM drains gracefully: the listener
+// closes, in-flight decisions complete (bounded by -drain), and the trace
+// sink is flushed before exit.
+//
+// Usage:
+//
+//	abrd [-addr 127.0.0.1:8404] [-max-sessions 65536] [-session-ttl 5m]
+//	     [-max-inflight 0] [-queue-depth 0] [-queue-wait 100ms]
+//	     [-fairness] [-table-cache DIR] [-trace-out FILE] [-drain 10s]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mpcdash/internal/abrsvc"
+	"mpcdash/internal/fastmpc"
+	"mpcdash/internal/obs"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8404", "listen address")
+		maxSessions = flag.Int("max-sessions", 0, "max resident sessions (0 = default 65536)")
+		sessionTTL  = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = default 5m)")
+		maxInflight = flag.Int("max-inflight", 0, "max concurrently executing decide requests (0 = 4×GOMAXPROCS)")
+		queueDepth  = flag.Int("queue-depth", 0, "decide queue depth before immediate shedding (0 = 8×max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 0, "max time a decide request may queue before shedding (0 = default 100ms)")
+		fairness    = flag.Bool("fairness", false, "enable link-group fair-share throughput capping")
+		tableCache  = flag.String("table-cache", "", "directory for the persistent FastMPC table cache (empty = memory only)")
+		traceOut    = flag.String("trace-out", "", "write per-decision Chrome trace events to this file (empty = disabled)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+	)
+	flag.Parse()
+
+	if *tableCache != "" {
+		fastmpc.SetTableCacheDir(*tableCache)
+	}
+
+	var sink obs.Sink
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sink = obs.NewChromeTrace(f)
+	}
+
+	reg := obs.NewRegistry()
+	obs.PublishExpvar("mpcdash_abrsvc", reg)
+	svc := abrsvc.New(abrsvc.Config{
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+		MaxInFlight: *maxInflight,
+		QueueDepth:  *queueDepth,
+		QueueWait:   *queueWait,
+		Fairness:    *fairness,
+		Registry:    reg,
+		Sink:        sink,
+	})
+	srv, err := svc.Start(*addr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("abrd: decision API at %s/v1, metrics at %s/metrics\n", srv.URL(), srv.URL())
+	if *fairness {
+		fmt.Println("abrd: link-group fairness enabled")
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("abrd: %v received, draining (deadline %s)\n", s, *drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(fmt.Errorf("drain: %w", err))
+	}
+	fmt.Println("abrd: drained cleanly")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "abrd: %v\n", err)
+	os.Exit(1)
+}

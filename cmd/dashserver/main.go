@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"mpcdash/internal/emu"
 	"mpcdash/internal/model"
@@ -32,6 +36,7 @@ func main() {
 		chunks      = flag.Int("chunks", 65, "video length in 4-second chunks")
 		scale       = flag.Float64("scale", 1, "time-compression factor (media s per wall s)")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (empty = disabled)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight downloads on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 
@@ -72,8 +77,27 @@ func main() {
 
 	fmt.Printf("dashserver: serving %d-chunk video at http://%s/manifest.mpd\n", *chunks, ln.Addr())
 	fmt.Printf("dashserver: link shaped by %s (mean %.0f kbps), time scale %gx\n", tr.Name, tr.Mean(), *scale)
-	if err := srv.ServeOn(shaped); err != nil && err != http.ErrServerClosed {
-		fatal(err)
+
+	// SIGINT/SIGTERM drains gracefully: stop accepting, let in-flight chunk
+	// downloads finish (bounded by -drain), then exit.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.ServeOn(shaped) }()
+	select {
+	case err := <-done:
+		if err != nil && err != http.ErrServerClosed {
+			fatal(err)
+		}
+	case s := <-sig:
+		fmt.Printf("dashserver: %v received, draining (deadline %s)\n", s, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		<-done
+		fmt.Println("dashserver: drained cleanly")
 	}
 }
 

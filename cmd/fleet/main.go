@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	fleet [-scenario scenario.json | -sessions N] [-backend sim|emu]
+//	fleet [-scenario scenario.json | -sessions N] [-backend sim|emu|svc]
+//	      [-svc-url http://host:8404] [-max-inflight N]
 //	      [-seed N] [-workers N] [-report out.json]
 //	      [-metrics-addr 127.0.0.1:9090] [-print-scenario]
 //
@@ -32,7 +33,9 @@ func main() {
 	var (
 		scenarioFile  = flag.String("scenario", "", "scenario JSON file (empty = built-in demo scenario)")
 		sessions      = flag.Int("sessions", 10000, "total sessions for the built-in scenario (ignored with -scenario)")
-		backend       = flag.String("backend", fleet.BackendSim, "session backend: sim (scales to 100k) or emu (real loopback HTTP)")
+		backend       = flag.String("backend", fleet.BackendSim, "session backend: sim (scales to 100k), emu (real loopback HTTP) or svc (decisions from a live abrd decision service)")
+		svcURL        = flag.String("svc-url", "", "svc backend: external abrd base URL (empty = self-host one on 127.0.0.1:0 for the run)")
+		maxInflight   = flag.Int("max-inflight", 0, "override the scenario's max concurrently playing sessions (0 = keep the scenario's value)")
 		seed          = flag.Int64("seed", 0, "override the scenario seed (0 = keep the file's seed)")
 		workers       = flag.Int("workers", 0, "worker goroutines per population (0 = auto)")
 		emuTimeScale  = flag.Float64("emu-timescale", 0, "wall-clock compression for the emu backend (0 = default)")
@@ -44,6 +47,11 @@ func main() {
 	flag.Parse()
 
 	sc := fleet.DefaultScenario(*sessions)
+	if *backend == fleet.BackendSvc {
+		// The built-in demo has a buffer-based population the decision
+		// service cannot serve; the svc demo is all table-lookup MPC.
+		sc = fleet.SvcDemoScenario(*sessions)
+	}
 	if *scenarioFile != "" {
 		var err error
 		sc, err = fleet.LoadScenario(*scenarioFile)
@@ -53,6 +61,9 @@ func main() {
 	}
 	if *seed != 0 {
 		sc.Seed = *seed
+	}
+	if *maxInflight > 0 {
+		sc.MaxInFlight = *maxInflight
 	}
 	if *printScenario {
 		if err := sc.WriteJSON(os.Stdout); err != nil {
@@ -66,6 +77,7 @@ func main() {
 		Workers:       *workers,
 		EmuTimeScale:  *emuTimeScale,
 		TableCacheDir: *tableCache,
+		SvcURL:        *svcURL,
 	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()

@@ -1,0 +1,98 @@
+package abrsvc
+
+import (
+	"context"
+	"errors"
+	"math"
+	"time"
+
+	"mpcdash/internal/obs"
+)
+
+// errShed marks a decide request refused by admission control: the queue
+// was full on arrival, or the request aged out of the queue before an
+// in-flight slot freed up. The handler maps it to 429 + Retry-After.
+var errShed = errors.New("abrsvc: overloaded, request shed")
+
+// admission is the decide-path overload valve: a max-in-flight semaphore
+// bounds concurrently executing decisions, a bounded queue absorbs bursts,
+// and anything beyond queue capacity — or queued longer than the wait
+// budget — is shed immediately. Shedding keeps the in-flight latency
+// distribution flat under overload instead of letting every request's
+// latency grow without bound (the collapse mode of an unbounded accept
+// loop).
+type admission struct {
+	sem   chan struct{} // in-flight slots
+	queue chan struct{} // waiter slots
+	wait  time.Duration
+
+	shed     *obs.Counter
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+}
+
+func newAdmission(maxInFlight, queueDepth int, wait time.Duration, reg *obs.Registry) *admission {
+	a := &admission{
+		sem:   make(chan struct{}, maxInFlight),
+		queue: make(chan struct{}, queueDepth),
+		wait:  wait,
+	}
+	a.shed = reg.Counter(MetricShedTotal, "Decide requests shed by admission control (429).")
+	a.inflight = reg.Gauge(MetricInflight, "Decide requests currently executing.")
+	a.queued = reg.Gauge(MetricQueued, "Decide requests waiting for an in-flight slot.")
+	return a
+}
+
+// acquire claims an in-flight slot, queuing up to the wait budget. It
+// returns the release callback on success, errShed when the request is
+// shed, or ctx's error when the caller went away first. Every path that
+// reserved a queue slot releases it before returning, so a cancelled or
+// shed waiter leaks nothing.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return a.release, nil
+	default:
+	}
+	// No free slot: reserve a queue position or shed on the spot.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Inc()
+		return nil, errShed
+	}
+	a.queued.Add(1)
+	timer := time.NewTimer(a.wait)
+	defer func() {
+		timer.Stop()
+		<-a.queue
+		a.queued.Add(-1)
+	}()
+	select {
+	case a.sem <- struct{}{}:
+		a.inflight.Add(1)
+		return a.release, nil
+	case <-timer.C:
+		a.shed.Inc()
+		return nil, errShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.sem
+	a.inflight.Add(-1)
+}
+
+// retryAfterSeconds is the Retry-After hint sent with a 429: the queue
+// wait budget rounded up to whole seconds (the header's granularity),
+// never less than 1.
+func (a *admission) retryAfterSeconds() int {
+	s := int(math.Ceil(a.wait.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,171 @@
+package abrsvc
+
+import (
+	"fmt"
+	"strings"
+
+	"mpcdash/internal/model"
+)
+
+// The wire types of the versioned /v1 JSON API. Field names are frozen:
+// changing them is an API version bump, not an edit.
+
+// SessionConfig is everything a registration must pin down for the service
+// to reproduce the player's decision problem: the video manifest geometry,
+// the QoE preference preset, and the player configuration. Sessions whose
+// resolved configs are equal share one FastMPC decision table through the
+// content-addressed registry.
+type SessionConfig struct {
+	// LadderKbps is the bitrate ladder, ascending kbps. Empty selects the
+	// paper's Envivio ladder.
+	LadderKbps []float64 `json:"ladder_kbps,omitempty"`
+	// Chunks and ChunkSec describe the CBR chunking; zero values select
+	// the paper's 65 × 4 s test video.
+	Chunks   int     `json:"chunks,omitempty"`
+	ChunkSec float64 `json:"chunk_sec,omitempty"`
+
+	// Weights selects the QoE preset: "balanced" (default),
+	// "avoid_instability" or "avoid_rebuffering".
+	Weights string `json:"weights,omitempty"`
+	// BufferMaxSec and Horizon are the player configuration; zero values
+	// select the paper defaults (30 s, 5 chunks).
+	BufferMaxSec float64 `json:"buffer_max_sec,omitempty"`
+	Horizon      int     `json:"horizon,omitempty"`
+
+	// Robust queries the table with the predictor's error-adjusted lower
+	// bound (RobustMPC behaviour at FastMPC cost, Theorem 1).
+	Robust bool `json:"robust,omitempty"`
+	// Window is the predictor's observation window in chunks; 0 selects
+	// the paper's 5.
+	Window int `json:"window,omitempty"`
+
+	// LinkGroup optionally names the bottleneck link this session shares
+	// with others (the multiplayer setting). Only consulted when the
+	// service runs with fairness enabled.
+	LinkGroup string `json:"link_group,omitempty"`
+}
+
+// SessionRequest registers a session. ID is optional; the service assigns
+// one when empty. Registering an ID that is already resident is a conflict.
+type SessionRequest struct {
+	ID     string        `json:"id,omitempty"`
+	Config SessionConfig `json:"config"`
+}
+
+// SessionResponse acknowledges a registration.
+type SessionResponse struct {
+	// Session is the ID to present on subsequent decide/delete calls.
+	Session string `json:"session"`
+	// Levels is the ladder size after config resolution.
+	Levels int `json:"levels"`
+	// TableKey is the content address of the decision table backing this
+	// session (hex): sessions reporting equal keys share one table.
+	TableKey string `json:"table_key"`
+}
+
+// DecideRequest asks for the next chunk's level. ThroughputSamples carries
+// the measured per-chunk download throughputs observed since the previous
+// decide call (normally exactly one); the service feeds them to the
+// session's server-side predictor in order.
+type DecideRequest struct {
+	Session string `json:"session"`
+	// Chunk is the 0-based index of the chunk being chosen. Repeating the
+	// previous chunk index replays the stored decision without mutating
+	// predictor state, making retries after a lost response idempotent.
+	Chunk int `json:"chunk"`
+	// Buffer is the current buffer occupancy in media seconds.
+	Buffer float64 `json:"buffer"`
+	// PrevLevel is the previously played ladder level, -1 before the
+	// first chunk.
+	PrevLevel         int       `json:"prev_level"`
+	ThroughputSamples []float64 `json:"throughput_samples,omitempty"`
+}
+
+// DecideResponse is the decision plus the metadata needed to audit it.
+type DecideResponse struct {
+	Session     string  `json:"session"`
+	Chunk       int     `json:"chunk"`
+	Level       int     `json:"level"`
+	BitrateKbps float64 `json:"bitrate_kbps"`
+
+	// PredictedKbps is the predictor's first-step forecast (0 = unknown).
+	PredictedKbps float64 `json:"predicted_kbps"`
+	// LowerKbps is the robust lower bound actually used when the session
+	// is robust (0 otherwise).
+	LowerKbps float64 `json:"lower_kbps,omitempty"`
+	// FairShareKbps is the link-group fair-share cap applied to this
+	// decision (0 when fairness is off, the session has no group, or the
+	// share did not bind).
+	FairShareKbps float64 `json:"fair_share_kbps,omitempty"`
+	// Replayed marks an idempotent replay of the stored decision for a
+	// repeated chunk index.
+	Replayed bool `json:"replayed,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// resolvedConfig is a SessionConfig with defaults applied and the weights
+// preset resolved — the canonical form the table key derives from.
+type resolvedConfig struct {
+	ladder    model.Ladder
+	chunks    int
+	chunkSec  float64
+	weights   model.Weights
+	bufferMax float64
+	horizon   int
+	robust    bool
+	window    int
+	linkGroup string
+}
+
+// resolveConfig validates a SessionConfig and applies the paper defaults.
+func resolveConfig(c SessionConfig) (resolvedConfig, error) {
+	r := resolvedConfig{
+		ladder:    model.Ladder(c.LadderKbps),
+		chunks:    c.Chunks,
+		chunkSec:  c.ChunkSec,
+		bufferMax: c.BufferMaxSec,
+		horizon:   c.Horizon,
+		robust:    c.Robust,
+		window:    c.Window,
+		linkGroup: c.LinkGroup,
+	}
+	if len(r.ladder) == 0 {
+		r.ladder = model.EnvivioLadder()
+	}
+	if r.chunks == 0 {
+		r.chunks = 65
+	}
+	if r.chunkSec == 0 { //lint:allow floateq zero is the JSON field-absent sentinel, never computed
+		r.chunkSec = 4
+	}
+	if r.bufferMax == 0 { //lint:allow floateq zero is the JSON field-absent sentinel, never computed
+		r.bufferMax = 30
+	}
+	if r.horizon == 0 {
+		r.horizon = 5
+	}
+	if r.window == 0 {
+		r.window = 5
+	}
+	if r.chunks < 0 || r.chunkSec < 0 || r.bufferMax < 0 || r.horizon < 0 || r.window < 0 {
+		return r, fmt.Errorf("abrsvc: session config fields must be non-negative")
+	}
+	if err := r.ladder.Validate(); err != nil {
+		return r, fmt.Errorf("abrsvc: %w", err)
+	}
+	switch strings.ToLower(c.Weights) {
+	case "", "balanced":
+		r.weights = model.Balanced
+	case "avoid_instability":
+		r.weights = model.AvoidInstability
+	case "avoid_rebuffering":
+		r.weights = model.AvoidRebuffering
+	default:
+		return r, fmt.Errorf("abrsvc: unknown weights preset %q", c.Weights)
+	}
+	return r, nil
+}

@@ -1,0 +1,162 @@
+package abrsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// APIError is a non-2xx response from the service, carrying enough to act
+// on it: the HTTP status, the server's error string, and the Retry-After
+// hint when the request was shed.
+type APIError struct {
+	Status     int
+	Msg        string
+	RetryAfter int // seconds, 0 when the server sent no hint
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("abrsvc: server returned %d: %s", e.Status, e.Msg)
+}
+
+// IsShed reports whether the request was refused by admission control
+// (429) — the one error class where retrying the identical request is the
+// intended protocol.
+func (e *APIError) IsShed() bool { return e.Status == http.StatusTooManyRequests }
+
+// Client is a typed client for the decision service. Construct with
+// NewClient: the zero value has no transport.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the service at base (e.g.
+// "http://127.0.0.1:8404"). It owns a dedicated http.Client with an
+// explicitly configured transport rather than http.DefaultClient: the
+// fleet drives a thousand-session load through one client, and the
+// default transport's two idle conns per host would force a fresh TCP
+// handshake under nearly every decide call.
+func NewClient(base string) *Client {
+	return &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        1024,
+				MaxIdleConnsPerHost: 1024,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+}
+
+// CloseIdle releases the client's pooled connections.
+func (c *Client) CloseIdle() { c.http.CloseIdleConnections() }
+
+// Register creates a session and returns the server's acknowledgement.
+func (c *Client) Register(ctx context.Context, req SessionRequest) (SessionResponse, error) {
+	var resp SessionResponse
+	err := c.post(ctx, "/v1/session", req, &resp)
+	return resp, err
+}
+
+// Decide requests the next chunk's level. A 429 comes back as an
+// *APIError with IsShed() true; use DecideRetry when the caller wants the
+// backoff protocol handled.
+func (c *Client) Decide(ctx context.Context, req DecideRequest) (DecideResponse, error) {
+	var resp DecideResponse
+	err := c.post(ctx, "/v1/decide", req, &resp)
+	return resp, err
+}
+
+// DecideRetry is Decide plus the shed protocol: on 429 it backs off
+// (5 ms doubling to a 200 ms cap — deterministic, no jitter, so identical
+// runs behave identically) and retries up to maxRetries times. Decide
+// requests are idempotent by chunk index, so a retry after a lost
+// response is safe. Other errors are returned immediately.
+func (c *Client) DecideRetry(ctx context.Context, req DecideRequest, maxRetries int) (DecideResponse, error) {
+	backoff := 5 * time.Millisecond
+	const maxBackoff = 200 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := c.Decide(ctx, req)
+		var apiErr *APIError
+		if err == nil || !errors.As(err, &apiErr) || !apiErr.IsShed() || attempt >= maxRetries {
+			return resp, err
+		}
+		t := time.NewTimer(backoff)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return resp, ctx.Err()
+		case <-t.C:
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+// Delete forgets a session. Deleting an unknown session is an *APIError
+// with Status 404.
+func (c *Client) Delete(ctx context.Context, session string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/v1/session/"+session, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// post sends a JSON body and decodes a JSON response into out.
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(out)
+}
+
+// apiError drains a non-2xx response into an *APIError.
+func apiError(resp *http.Response) error {
+	e := &APIError{Status: resp.StatusCode}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		if s, err := strconv.Atoi(ra); err == nil {
+			e.RetryAfter = s
+		}
+	}
+	var body ErrorResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxBodyBytes)).Decode(&body); err == nil && body.Error != "" {
+		e.Msg = body.Error
+	} else {
+		e.Msg = http.StatusText(resp.StatusCode)
+	}
+	return e
+}

@@ -1,0 +1,117 @@
+package abrsvc
+
+import (
+	"sync"
+
+	"mpcdash/internal/fastmpc"
+	"mpcdash/internal/model"
+	"mpcdash/internal/predictor"
+)
+
+// session is one registered viewer: the per-session state MPC needs
+// between chunks (the error-tracked predictor of Sec 7.1.2 and the last
+// decision, which makes retried requests idempotent) plus the shared,
+// read-only decision table. The decide path below is deterministic — a
+// pure function of the session's request history — which is what lets the
+// fleet's svc backend promise byte-identical decision sequences across
+// same-seed runs.
+type session struct {
+	mu sync.Mutex
+
+	id    string
+	seq   int // registration sequence number, stamps DecisionEvents
+	group string
+
+	ladder  model.Ladder
+	table   *fastmpc.CompressedTable
+	pred    *predictor.ErrorTracked
+	horizon int
+	robust  bool
+
+	// Idempotency: a decide request repeating lastChunk replays lastResp
+	// without touching predictor state.
+	lastChunk int
+	lastResp  DecideResponse
+
+	// lastUsed is the store's idle clock, unix nanoseconds. Guarded by
+	// the owning shard's mutex, not the session mutex.
+	lastUsed int64
+}
+
+// newSession assembles the per-viewer state around a shared table.
+func newSession(id string, seq int, rc resolvedConfig, table *fastmpc.CompressedTable) *session {
+	return &session{
+		id:        id,
+		seq:       seq,
+		group:     rc.linkGroup,
+		ladder:    rc.ladder,
+		table:     table,
+		pred:      predictor.NewErrorTracked(predictor.NewHarmonicMean(rc.window), rc.window),
+		horizon:   rc.horizon,
+		robust:    rc.robust,
+		lastChunk: -1,
+	}
+}
+
+// algorithm names the decision rule for logs and DecisionEvents.
+func (ss *session) algorithm() string {
+	if ss.robust {
+		return "RobustFastMPC"
+	}
+	return "FastMPC"
+}
+
+// decide runs one controller step: feed the reported throughput samples to
+// the predictor, forecast, apply the robust lower bound and the fair-share
+// cap, and look the level up in the table. Callers hold ss.mu. The
+// sequence of operations mirrors the simulator's per-chunk loop exactly
+// (Observe the realized throughput of the previous chunk, then Predict,
+// then decide), so a service-backed session takes the same decisions as a
+// local fastmpc.Controller fed the same measurements.
+func (ss *session) decide(req *DecideRequest, share float64) DecideResponse {
+	for _, v := range req.ThroughputSamples {
+		if v > 0 {
+			ss.pred.Observe(v)
+		}
+	}
+	forecast := ss.pred.Predict(ss.horizon)
+	var predicted float64
+	if len(forecast) > 0 {
+		predicted = forecast[0]
+	}
+	rate := predicted
+	var lower float64
+	if ss.robust {
+		if lb := ss.pred.LowerBound(ss.horizon); len(lb) > 0 && lb[0] > 0 {
+			lower = lb[0]
+			rate = lower
+		}
+	}
+	var fair float64
+	if share > 0 && share < rate {
+		fair = share
+		rate = share
+	}
+	level := ss.table.Lookup(req.Buffer, req.PrevLevel, rate)
+	return DecideResponse{
+		Session:       ss.id,
+		Chunk:         req.Chunk,
+		Level:         level,
+		BitrateKbps:   ss.ladder[level],
+		PredictedKbps: predicted,
+		LowerKbps:     lower,
+		FairShareKbps: fair,
+	}
+}
+
+// lastSample returns the most recent positive throughput sample of a
+// decide request (0 when none) — the per-session contribution to its link
+// group's aggregate.
+func lastSample(samples []float64) float64 {
+	for i := len(samples) - 1; i >= 0; i-- {
+		if samples[i] > 0 {
+			return samples[i]
+		}
+	}
+	return 0
+}

@@ -1,0 +1,103 @@
+package abrsvc
+
+import (
+	"sort"
+	"sync"
+)
+
+// groupTable implements the fairness hook: sessions that registered with a
+// link group are tracked together, and each decide call can ask for its
+// fair share of the group's aggregate observed throughput. This is the
+// server-side vantage point the multiplayer HTTP-streaming literature
+// argues for — concurrent players behind one bottleneck each overestimate
+// their share when probing alone; a coordinator that sees all of them can
+// hand each its aggregate/N share instead. The aggregate is the sum of
+// every member's most recent throughput sample, divided by the member
+// count (members that have not reported yet still consume a share of the
+// link, so they stay in the denominator).
+type groupTable struct {
+	mu sync.Mutex
+	m  map[string]*linkGroup
+}
+
+type linkGroup struct {
+	members map[string]float64 // session id → last reported sample (0 = none yet)
+}
+
+func newGroupTable() *groupTable {
+	return &groupTable{m: make(map[string]*linkGroup)}
+}
+
+// join adds a session to its group, creating the group on first use.
+func (g *groupTable) join(group, id string) {
+	g.mu.Lock()
+	lg := g.m[group]
+	if lg == nil {
+		lg = &linkGroup{members: make(map[string]float64)}
+		g.m[group] = lg
+	}
+	if _, ok := lg.members[id]; !ok {
+		lg.members[id] = 0
+	}
+	g.mu.Unlock()
+}
+
+// observe records the session's latest throughput sample (0 keeps the
+// previous one) and returns its fair share of the group aggregate, or 0
+// when the group has no observations yet. The aggregate is summed in
+// sorted member order so it is a deterministic function of the members'
+// samples, not of map iteration order.
+func (g *groupTable) observe(group, id string, sample float64) float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	lg := g.m[group]
+	if lg == nil {
+		return 0
+	}
+	if sample > 0 {
+		lg.members[id] = sample
+	}
+	ids := make([]string, 0, len(lg.members))
+	for member := range lg.members {
+		ids = append(ids, member)
+	}
+	sort.Strings(ids)
+	var sum float64
+	var reported int
+	for _, member := range ids {
+		if v := lg.members[member]; v > 0 {
+			sum += v
+			reported++
+		}
+	}
+	if reported == 0 {
+		return 0
+	}
+	return sum / float64(len(lg.members))
+}
+
+// drop removes a session from its group, deleting the group when it
+// empties.
+func (g *groupTable) drop(group, id string) {
+	if group == "" {
+		return
+	}
+	g.mu.Lock()
+	if lg := g.m[group]; lg != nil {
+		delete(lg.members, id)
+		if len(lg.members) == 0 {
+			delete(g.m, group)
+		}
+	}
+	g.mu.Unlock()
+}
+
+// size reports the member count of a group (0 when absent).
+func (g *groupTable) size(group string) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if lg := g.m[group]; lg != nil {
+		return len(lg.members)
+	}
+	return 0
+}

@@ -61,6 +61,26 @@ type Client struct {
 	Obs *obs.Recorder
 }
 
+// newHTTPClient is the default transport when the caller supplies none: a
+// dedicated http.Client instead of http.DefaultClient, so sessions never
+// share (or pollute) the process-global connection pool, and with its
+// knobs explicit. A player holds exactly one origin connection, but fleet
+// runs put dozens of concurrent players in one process — per-host idle
+// capacity keeps each player reusing its own connection instead of
+// competing for the default transport's two idle slots per host. There is
+// no overall client timeout: per-attempt pacing is the player's job
+// (AttemptTimeout), and a shaped 4 s chunk on a slow trace legitimately
+// takes minutes of wall time.
+func newHTTPClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{
+			MaxIdleConns:        256,
+			MaxIdleConnsPerHost: 64,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
 // Run plays the whole video with the pre-bound Controller and returns the
 // session log in media-time units, directly comparable with simulator
 // output.
@@ -84,7 +104,7 @@ func (c *Client) run(ctx context.Context, bind abr.Factory) (*model.SessionResul
 	}
 	httpc := c.HTTP
 	if httpc == nil {
-		httpc = http.DefaultClient
+		httpc = newHTTPClient()
 	}
 
 	man, err := c.fetchManifest(ctx, httpc)

@@ -1,11 +1,13 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"mpcdash/internal/model"
 	"mpcdash/internal/mpd"
@@ -62,8 +64,33 @@ func (s *Server) ServeOn(ln net.Listener) error {
 	return s.http.Serve(ln)
 }
 
-// Close shuts the server down immediately.
-func (s *Server) Close() error { return s.http.Close() }
+// defaultDrain bounds how long Close waits for in-flight downloads. A
+// chunk at the lowest Envivio level over a starved link finishes well
+// inside this on the shaped loopback paths the server exists for.
+const defaultDrain = 10 * time.Second
+
+// Close shuts the server down gracefully: the listener closes at once (no
+// new requests), in-flight chunk downloads run to completion, and only
+// past the default drain deadline are their connections cut. A player
+// mid-download across a Close sees its GET complete instead of an
+// "unexpected EOF" it would then burn a retry on.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), defaultDrain)
+	defer cancel()
+	return s.Shutdown(ctx)
+}
+
+// Shutdown is Close with a caller-bounded drain deadline: it stops
+// accepting, waits for in-flight requests until ctx is done, then
+// hard-closes whatever remains.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline blown: cut the remaining connections.
+		_ = s.http.Close()
+	}
+	return err
+}
 
 func (s *Server) handleManifest(w http.ResponseWriter, r *http.Request) {
 	doc := mpd.FromManifest(s.Manifest, "/video")

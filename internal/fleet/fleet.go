@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -43,6 +44,7 @@ const (
 const (
 	BackendSim = "sim" // in-process simulator (default)
 	BackendEmu = "emu" // loopback HTTP emulation with shaped links
+	BackendSvc = "svc" // simulated playback, decisions from a live abrd over HTTP
 )
 
 // Options configure a fleet run beyond what the scenario declares.
@@ -62,6 +64,9 @@ type Options struct {
 	// disk so repeated runs skip the offline enumeration. It configures
 	// the process-wide fastmpc table cache; "" leaves the current setting.
 	TableCacheDir string
+	// SvcURL points the svc backend at an external abrd deployment; ""
+	// self-hosts a decision service on 127.0.0.1:0 for the run.
+	SvcURL string
 }
 
 // Fleet is one prepared scenario run: trace pool and manifest built,
@@ -77,6 +82,8 @@ type Fleet struct {
 	sem      chan struct{} // admission: max in-flight sessions
 	bucket   *tokenBucket  // admission: launch-rate cap
 	inflight *obs.Gauge
+
+	svc *svcEnv // decision-service wiring, svc backend only
 
 	pops []*popState
 }
@@ -111,6 +118,15 @@ func New(sc *Scenario, opt Options) (*Fleet, error) {
 	case "", BackendSim:
 		opt.Backend = BackendSim
 	case BackendEmu:
+	case BackendSvc:
+		// The decision service only implements the table-lookup family.
+		for i := range sc.Populations {
+			p := &sc.Populations[i]
+			if _, ok := svcAlgorithms[strings.ToLower(p.Algorithm)]; !ok {
+				return nil, fmt.Errorf("fleet: population %q: algorithm %q has no service-side implementation (svc backend supports FastMPC, RobustMPC)",
+					p.Name, p.Algorithm)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("fleet: unknown backend %q", opt.Backend)
 	}
@@ -206,15 +222,32 @@ func buildTracePool(sc *Scenario, videoDur float64) map[string][]*trace.Trace {
 // launch, in-flight sessions finish and are aggregated — and Run returns
 // the partial report together with ctx's error.
 func (f *Fleet) Run(ctx context.Context) (*Report, error) {
+	if f.opt.Backend == BackendSvc {
+		env, err := f.startSvc(ctx)
+		if err != nil {
+			return f.buildReport(), err
+		}
+		f.svc = env
+		defer func() {
+			// Drain the self-hosted service even when the run was
+			// cancelled: in-flight decides finish, then the sink flushes.
+			dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 10*time.Second)
+			defer cancel()
+			_ = env.close(dctx)
+		}()
+	}
 	var wg sync.WaitGroup
 	errs := make([]error, len(f.pops))
 	for i, ps := range f.pops {
 		wg.Add(1)
 		go func(i int, ps *popState) {
 			defer wg.Done()
-			if f.opt.Backend == BackendEmu {
+			switch f.opt.Backend {
+			case BackendEmu:
 				errs[i] = f.runPopEmu(ctx, ps)
-			} else {
+			case BackendSvc:
+				errs[i] = f.runPopSvc(ctx, ps)
+			default:
 				errs[i] = f.runPopSim(ctx, ps)
 			}
 		}(i, ps)
@@ -232,6 +265,9 @@ func (f *Fleet) Run(ctx context.Context) (*Report, error) {
 // workersPerPop bounds each population's worker pool: simulator sessions
 // are CPU-bound (no point past GOMAXPROCS), emulated ones wall-clock
 // bound (more concurrency, still bounded — each holds a socket pair).
+// Service-backed sessions are cheap request loops, so the svc backend
+// lets the admission semaphore alone set the concurrency — that is what
+// "N concurrent sessions against a live abrd" means.
 func (f *Fleet) workersPerPop() int {
 	if f.opt.Workers > 0 {
 		return f.opt.Workers
@@ -239,6 +275,9 @@ func (f *Fleet) workersPerPop() int {
 	limit := runtime.GOMAXPROCS(0)
 	if f.opt.Backend == BackendEmu {
 		limit = 32
+	}
+	if f.opt.Backend == BackendSvc {
+		limit = cap(f.sem)
 	}
 	if cap(f.sem) < limit {
 		limit = cap(f.sem)

@@ -1,0 +1,122 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+
+	"mpcdash/internal/model"
+)
+
+// svcTestScenario is a compact svc-backend scenario: both decision rules
+// the service implements, short video, watch churn on one population.
+func svcTestScenario(sessions int) *Scenario {
+	return &Scenario{
+		Name:        "svc-test",
+		Seed:        7,
+		Video:       VideoSpec{Chunks: 12, ChunkSec: 4},
+		TracePool:   TracePoolSpec{PerKind: 8, DurationSec: 200},
+		MaxInFlight: sessions,
+		Populations: []Population{
+			{
+				Name:      "fastmpc",
+				Algorithm: "FastMPC",
+				Sessions:  sessions,
+				TraceMix:  map[string]float64{"fcc": 2, "hsdpa": 1},
+				Watch:     Watch{Dist: "uniform", MinChunks: 4, MaxChunks: 12},
+			},
+			{
+				Name:      "robustmpc",
+				Algorithm: "RobustMPC",
+				Sessions:  sessions / 2,
+				TraceMix:  map[string]float64{"hsdpa": 1},
+			},
+		},
+	}
+}
+
+// runSvcCapture runs sc on the svc backend and returns every session's
+// decision sequence keyed by population/session index.
+func runSvcCapture(t *testing.T, sc *Scenario) (*Report, map[string][]int) {
+	t.Helper()
+	var mu sync.Mutex
+	seqs := make(map[string][]int)
+	svcSessionHook = func(pop string, session int, res *model.SessionResult) {
+		levels := make([]int, len(res.Chunks))
+		for i, c := range res.Chunks {
+			levels[i] = c.Level
+		}
+		mu.Lock()
+		seqs[fmt.Sprintf("%s/%d", pop, session)] = levels
+		mu.Unlock()
+	}
+	defer func() { svcSessionHook = nil }()
+
+	f, err := New(sc, Options{Backend: BackendSvc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := f.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, seqs
+}
+
+// TestSvcBackendDeterministic is the svc backend's contract test: a
+// same-seed run against a fresh service reproduces byte-identical
+// per-session decision sequences, with every session completed and zero
+// errors — the predictor state lives server-side, yet determinism holds
+// because each session's decisions are a pure function of its trace.
+func TestSvcBackendDeterministic(t *testing.T) {
+	sc := svcTestScenario(24)
+	rep1, run1 := runSvcCapture(t, sc)
+
+	var total int64
+	for _, p := range rep1.Populations {
+		total += p.Completed
+		if p.Errors != 0 {
+			t.Errorf("population %s: %d session errors, want 0", p.Name, p.Errors)
+		}
+		if p.Completed != int64(p.Sessions) {
+			t.Errorf("population %s: completed %d of %d sessions", p.Name, p.Completed, p.Sessions)
+		}
+	}
+	if want := int64(24 + 12); total != want {
+		t.Fatalf("completed %d sessions, want %d", total, want)
+	}
+	if len(run1) != int(total) {
+		t.Fatalf("hook captured %d sessions, want %d", len(run1), total)
+	}
+
+	_, run2 := runSvcCapture(t, svcTestScenario(24))
+	keys := make([]string, 0, len(run1))
+	for k := range run1 {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if fmt.Sprint(run1[k]) != fmt.Sprint(run2[k]) {
+			t.Errorf("session %s: run 1 decided %v, run 2 %v — svc backend not deterministic",
+				k, run1[k], run2[k])
+		}
+	}
+
+	// Watch churn must show up as truncated sessions (MaxChunks < video
+	// length for some), proving truncation happens client-side while the
+	// service still serves the full-video table.
+	short := 0
+	for k, levels := range run1 {
+		if len(levels) < 12 {
+			short++
+		}
+		if len(levels) == 0 {
+			t.Errorf("session %s played no chunks", k)
+		}
+	}
+	if short == 0 {
+		t.Error("uniform 4..12 watch distribution produced no truncated sessions")
+	}
+}

@@ -11,6 +11,7 @@ var leakScope = fileScope{
 	"runner": nil,
 	"fleet":  nil,
 	"emu":    nil,
+	"abrsvc": nil,
 }
 
 // CtxLeak flags `go func` literals that capture neither a context.Context

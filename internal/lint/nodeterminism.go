@@ -18,6 +18,10 @@ var detScope = fileScope{
 	"stats":   nil,
 	"trace":   nil,
 	"fleet":   {"accum.go", "report.go"},
+	// The decision service's decision path must be a pure function of the
+	// session's request history; the server loop (http.go), admission
+	// valve and client legitimately read the wall clock.
+	"abrsvc": {"api.go", "decide.go", "fairness.go", "store.go"},
 }
 
 // wallClockFuncs are time functions that read or depend on the wall clock.

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-fixtures verify bench-solver bench-svc trace-demo fleet-demo svc-demo
+.PHONY: build test race vet lint lint-alloc lint-fixtures fuzz verify bench-solver bench-svc trace-demo fleet-demo svc-demo
 
 build:
 	$(GO) build ./...
@@ -9,15 +9,33 @@ vet:
 	$(GO) vet ./...
 
 # lint runs mpclint, the project-specific static analyzers enforcing the
-# determinism / float-safety / map-order / stdlib-only / ctx-leak
-# invariants (DESIGN.md §4e). Non-zero exit on any finding.
+# determinism / float-safety / map-order / stdlib-only / ctx-leak /
+# lock-scope / no-alloc / atomic-discipline / HTTP-contract invariants
+# (DESIGN.md §4e, §4h). Non-zero exit on any finding.
 lint:
 	$(GO) run ./cmd/mpclint ./...
+
+# lint-alloc cross-checks every //mpc:noalloc annotation against the
+# compiler's escape analysis (go build -gcflags=-m): an escape or
+# heap-move site inside an annotated function fails the build.
+lint-alloc:
+	$(GO) run ./cmd/mpclint -alloccheck ./...
 
 # lint-fixtures runs the analyzer golden-fixture tests (testdata trees with
 # `// want "..."` expectations) and the mpclint CLI smoke tests.
 lint-fixtures:
 	$(GO) test ./internal/lint/... ./cmd/mpclint/...
+
+# fuzz smoke-runs every fuzz target (the binary table decoders and the
+# /v1 JSON decode paths) for FUZZTIME each, seeded from the committed
+# corpora under testdata/fuzz.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzDeserializeTable$$' -fuzztime $(FUZZTIME) ./internal/fastmpc/
+	$(GO) test -run '^$$' -fuzz '^FuzzDeserializeCompressed$$' -fuzztime $(FUZZTIME) ./internal/fastmpc/
+	$(GO) test -run '^$$' -fuzz '^FuzzCacheFile$$' -fuzztime $(FUZZTIME) ./internal/fastmpc/
+	$(GO) test -run '^$$' -fuzz '^FuzzSessionRequestJSON$$' -fuzztime $(FUZZTIME) ./internal/abrsvc/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecideRequestJSON$$' -fuzztime $(FUZZTIME) ./internal/abrsvc/
 
 test:
 	$(GO) test ./...
@@ -26,12 +44,14 @@ test:
 race:
 	$(GO) test -race ./...
 
-# verify is the full pre-merge gate: build, vet, lint, and the whole test
-# suite under the race detector.
+# verify is the full pre-merge gate: build, vet, lint (including the
+# escape-analysis reconciliation), and the whole test suite under the race
+# detector.
 verify:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) run ./cmd/mpclint ./...
+	$(GO) run ./cmd/mpclint -alloccheck ./...
 	$(GO) test -race ./...
 
 # bench-solver measures the MPC solver hot path (ns/op, allocs/op) and the

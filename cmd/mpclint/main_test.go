@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -78,17 +79,75 @@ func TestListChecks(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	for _, name := range []string{"nodeterminism", "floateq", "maporder", "stdlibonly", "ctxleak"} {
+	for _, name := range []string{
+		"nodeterminism", "floateq", "maporder", "stdlibonly", "ctxleak",
+		"lockscope", "noalloc", "atomicmix", "httpcontract",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list missing %s", name)
 		}
 	}
 }
 
-// TestChecksFlag asserts an unknown check is a usage error (exit 2).
+// TestListGolden pins the exact -list output — name column plus one-line
+// description per check — so the suite roster and its docs cannot drift
+// silently. Regenerate with: go run ./cmd/mpclint -list > testdata/list.golden
+func TestListGolden(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr=%q", code, errb.String())
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "list.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != string(golden) {
+		t.Errorf("-list output drifted from testdata/list.golden:\n--- got ---\n%s--- want ---\n%s", out.String(), golden)
+	}
+}
+
+// TestChecksFlag asserts an unknown check is a usage error (exit 2) with a
+// usage message naming the known checks — never a silent run of zero
+// analyzers.
 func TestChecksFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-checks", "bogus"}, &out, &errb); code != 2 {
 		t.Fatalf("unknown check: exit %d", code)
+	}
+	if !strings.Contains(errb.String(), `unknown check "bogus"`) {
+		t.Errorf("stderr should name the unknown check, got %q", errb.String())
+	}
+	if !strings.Contains(errb.String(), "usage: mpclint") || !strings.Contains(errb.String(), "known checks: nodeterminism") {
+		t.Errorf("stderr should carry a usage message listing known checks, got %q", errb.String())
+	}
+}
+
+// TestChecksFlagEmpty asserts a selector that nets zero analyzers is a
+// usage error, not a vacuous clean exit.
+func TestChecksFlagEmpty(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-checks", " , ,"}, &out, &errb); code != 2 {
+		t.Fatalf("empty selector: exit %d, stderr=%q", code, errb.String())
+	}
+}
+
+// TestAllocCheckClean runs the -alloccheck mode against the real module:
+// the //mpc:noalloc inventory must be non-empty and free of compiler
+// escape sites. This is the same reconciliation `make lint-alloc` runs.
+func TestAllocCheckClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full go build -gcflags=-m of the module")
+	}
+	var out, errb bytes.Buffer
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	code := run([]string{"-alloccheck", root + "/..."}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("alloccheck: exit %d\nstdout=%s\nstderr=%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "0 inside annotated ranges") {
+		t.Errorf("expected the clean summary line, got %q", out.String())
 	}
 }

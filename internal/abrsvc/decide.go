@@ -107,6 +107,8 @@ func (ss *session) decide(req *DecideRequest, share float64) DecideResponse {
 // lastSample returns the most recent positive throughput sample of a
 // decide request (0 when none) — the per-session contribution to its link
 // group's aggregate.
+//
+//mpc:noalloc
 func lastSample(samples []float64) float64 {
 	for i := len(samples) - 1; i >= 0; i-- {
 		if samples[i] > 0 {

@@ -2,7 +2,6 @@ package abrsvc
 
 import (
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -52,11 +51,23 @@ func newStore(shards int, ttl time.Duration, max int, now func() time.Time, reg 
 	return st
 }
 
-// shardFor stripes a session ID onto its shard by FNV-1a.
+// shardFor stripes a session ID onto its shard by FNV-1a. The hash is
+// inlined over the string: hash/fnv's New32a + Write([]byte(id)) costs two
+// heap allocations per decide request, which this function — on the path
+// between readJSON and the table lookup — is not allowed to pay.
+//
+//mpc:noalloc
 func (st *store) shardFor(id string) *storeShard {
-	h := fnv.New32a()
-	h.Write([]byte(id))
-	return &st.shards[h.Sum32()%uint32(len(st.shards))]
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= prime32
+	}
+	return &st.shards[h%uint32(len(st.shards))]
 }
 
 // put registers a session, enforcing capacity and ID uniqueness.

@@ -83,6 +83,8 @@ func NewOptimizer(m *model.Manifest, w model.Weights, q model.QualityFunc, buffe
 // nothing in the steady state and is safe for concurrent use. Callers
 // making one decision per chunk should hold a Scratch and use PlanScratch
 // for a strictly allocation-free hot path.
+//
+//mpc:noalloc
 func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, startup bool) (level int, ts float64, qoe float64) {
 	s := scratchPool.Get().(*Scratch)
 	level, ts, qoe = o.PlanScratch(s, k, buffer, prev, forecast, startup)
@@ -92,10 +94,16 @@ func (o *Optimizer) Plan(k int, buffer float64, prev int, forecast []float64, st
 
 // PlanScratch is Plan solving into caller-owned working memory: with a
 // reused Scratch the steady-state decision performs zero heap allocations.
-// The Scratch must not be shared between concurrent solves.
+// The Scratch must not be shared between concurrent solves. A nil Scratch
+// delegates to the pooled Plan entry point so the hot path itself never
+// constructs one.
+//
+//mpc:noalloc
 func (o *Optimizer) PlanScratch(s *Scratch, k int, buffer float64, prev int, forecast []float64, startup bool) (level int, ts float64, qoe float64) {
 	if s == nil {
-		s = new(Scratch)
+		// Plan always passes a pooled non-nil Scratch back in, so this
+		// cannot recurse.
+		return o.Plan(k, buffer, prev, forecast, startup)
 	}
 	steps := o.Horizon
 	if rem := o.Manifest.ChunkCount - k; rem < steps {
@@ -177,6 +185,8 @@ func (o *Optimizer) PlanScratch(s *Scratch, k int, buffer float64, prev int, for
 // improvement. The traversal is iterative over the Scratch's explicit
 // stacks — same visit order as the recursive formulation, node for node,
 // without the closure and call-frame allocations.
+//
+//mpc:noalloc
 func (o *Optimizer) search(s *Scratch, k int, buffer float64, prev int, steps, levels int) (int, float64) {
 	man := o.Manifest
 	chunkDur := man.ChunkDuration

@@ -171,6 +171,33 @@ func cachePath(dir string, key uint64) string {
 	return filepath.Join(dir, fmt.Sprintf("%016x.fastmpc", key))
 }
 
+// decodeCacheFile validates and decodes one cache-file blob against the
+// identity it must carry: the content key, the ladder size, and the exact
+// BinSpec of the request. It is a pure function over the bytes — the
+// fuzz-hardened half of loadDisk — and any error means "treat as corrupt".
+func decodeCacheFile(data []byte, key uint64, levels int, spec BinSpec) (*Table, error) {
+	if len(data) < cacheFileHeader {
+		return nil, fmt.Errorf("fastmpc: cache file truncated (%d bytes)", len(data))
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != cacheFileMagic {
+		return nil, fmt.Errorf("fastmpc: cache file magic %#x, want %#x", m, uint32(cacheFileMagic))
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != cacheFileVersion {
+		return nil, fmt.Errorf("fastmpc: cache file version %d, want %d", v, cacheFileVersion)
+	}
+	if k := binary.LittleEndian.Uint64(data[8:]); k != key {
+		return nil, fmt.Errorf("fastmpc: cache file claims key %016x, want %016x", k, key)
+	}
+	full, err := Deserialize(data[cacheFileHeader:])
+	if err != nil {
+		return nil, err
+	}
+	if full.Levels != levels || !specIdentical(full.Spec, spec) {
+		return nil, fmt.Errorf("fastmpc: cached table geometry disagrees with request")
+	}
+	return full, nil
+}
+
 // loadDisk reads and validates one cached table. Any failure — missing
 // file, wrong magic or version, key mismatch, undecodable table, or a
 // table whose geometry disagrees with the request — is a miss; corrupt
@@ -180,19 +207,8 @@ func (r *Registry) loadDisk(dir string, key uint64, levels int, spec BinSpec) (*
 	if err != nil {
 		return nil, false
 	}
-	if len(data) < cacheFileHeader ||
-		binary.LittleEndian.Uint32(data[0:]) != cacheFileMagic ||
-		binary.LittleEndian.Uint32(data[4:]) != cacheFileVersion ||
-		binary.LittleEndian.Uint64(data[8:]) != key {
-		r.diskErrors.Add(1)
-		return nil, false
-	}
-	full, err := Deserialize(data[cacheFileHeader:])
+	full, err := decodeCacheFile(data, key, levels, spec)
 	if err != nil {
-		r.diskErrors.Add(1)
-		return nil, false
-	}
-	if full.Levels != levels || !specIdentical(full.Spec, spec) {
 		r.diskErrors.Add(1)
 		return nil, false
 	}

@@ -1,0 +1,290 @@
+package fastmpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"mpcdash/internal/fuzzcorpus"
+)
+
+// The binary table formats ("MPCT" flat tables, "MPCR" run-length tables,
+// "MPCF" cache files) are the service's only parsers of untrusted bytes: a
+// cache directory is writable by anything on the machine, and fleet nodes
+// exchange serialized tables. The fuzz targets below hold the decoders to
+// the contract the rest of the package relies on: every input either fails
+// with an error or yields a table whose every Lookup is in range — no
+// panics, no out-of-bounds levels, no decode-accepting-garbage.
+
+// fuzzSpec is the small deterministic geometry every fuzz seed is built
+// around: 4×3×3 = 36 entries keeps seed blobs readable in the corpus files.
+var fuzzSpec = BinSpec{BufferBins: 4, BufferMax: 12, RateBins: 3, RateMin: 10, RateMax: 100}
+
+const fuzzLevels = 3
+
+// fuzzTable builds a small valid table by hand — no optimizer enumeration,
+// so the fuzz setup stays microseconds.
+func fuzzTable() *Table {
+	t := &Table{
+		Spec:    fuzzSpec,
+		Levels:  fuzzLevels,
+		Entries: make([]uint8, fuzzSpec.BufferBins*fuzzLevels*fuzzSpec.RateBins),
+	}
+	for i := range t.Entries {
+		t.Entries[i] = uint8(i % fuzzLevels)
+	}
+	return t
+}
+
+// legacyTableBlob serializes a table in the pre-versioning v1 format
+// (24-byte header, float32 scalars) that Deserialize must still read.
+func legacyTableBlob(t *Table) []byte {
+	buf := make([]byte, legacyTableHeaderLen, legacyTableHeaderLen+len(t.Entries))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(t.Spec.BufferBins))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(t.Spec.RateBins))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(t.Levels))
+	binary.LittleEndian.PutUint32(buf[12:], math.Float32bits(float32(t.Spec.BufferMax)))
+	binary.LittleEndian.PutUint32(buf[16:], math.Float32bits(float32(t.Spec.RateMin)))
+	binary.LittleEndian.PutUint32(buf[20:], math.Float32bits(float32(t.Spec.RateMax)))
+	return append(buf, t.Entries...)
+}
+
+// legacyRLEBlob serializes a compressed table in the v1 format (28-byte
+// header, float32 scalars).
+func legacyRLEBlob(c *CompressedTable) []byte {
+	buf := make([]byte, legacyRLEHeaderLen, legacyRLEHeaderLen+5*len(c.Starts))
+	binary.LittleEndian.PutUint32(buf[0:], uint32(c.Spec.BufferBins))
+	binary.LittleEndian.PutUint32(buf[4:], uint32(c.Spec.RateBins))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(c.Levels))
+	binary.LittleEndian.PutUint32(buf[12:], math.Float32bits(float32(c.Spec.BufferMax)))
+	binary.LittleEndian.PutUint32(buf[16:], math.Float32bits(float32(c.Spec.RateMin)))
+	binary.LittleEndian.PutUint32(buf[20:], math.Float32bits(float32(c.Spec.RateMax)))
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(c.Starts)))
+	var entry [5]byte
+	for r := range c.Starts {
+		binary.LittleEndian.PutUint32(entry[0:], c.Starts[r])
+		entry[4] = c.Values[r]
+		buf = append(buf, entry[:]...)
+	}
+	return buf
+}
+
+// probeLookups exercises Lookup across the hostile corners of the state
+// space — NaN, ±Inf, negatives, out-of-range prev — and fails the fuzz run
+// if any decision escapes [0, levels).
+func probeLookups(t *testing.T, levels int, lookup func(buffer float64, prev int, rate float64) int) {
+	t.Helper()
+	buffers := []float64{-1, 0, 5, 1e308, math.Inf(1), math.Inf(-1), math.NaN()}
+	prevs := []int{-5, -1, 0, levels - 1, levels, levels + 7}
+	rates := []float64{-10, 0, 55, 1e308, math.Inf(1), math.Inf(-1), math.NaN()}
+	for _, b := range buffers {
+		for _, p := range prevs {
+			for _, r := range rates {
+				if lvl := lookup(b, p, r); lvl < 0 || lvl >= levels {
+					t.Fatalf("Lookup(%v, %d, %v) = %d, outside [0, %d)", b, p, r, lvl, levels)
+				}
+			}
+		}
+	}
+}
+
+// deserializeTableSeeds is the committed seed corpus for
+// FuzzDeserializeTable: a valid v2 blob, its legacy v1 form, and the
+// truncation/corruption/versioning edges the decoder must reject.
+func deserializeTableSeeds() [][]byte {
+	full := fuzzTable()
+	valid := full.Serialize()
+	corrupt := append([]byte(nil), valid...)
+	corrupt[tableHeaderLen] = 0xFF // entry beyond Levels
+	wrongVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(wrongVersion[4:], 99)
+	return [][]byte{
+		valid,
+		legacyTableBlob(full),
+		valid[:len(valid)-1], // truncated payload
+		valid[:tableHeaderLen],
+		{},
+		[]byte("MPCT"),
+		corrupt,
+		wrongVersion,
+	}
+}
+
+// FuzzDeserializeTable holds Deserialize ("MPCT" v2 and legacy v1 flat
+// tables) to its contract: error, or a structurally valid table that
+// re-serializes bit-exactly and never looks up an out-of-range level.
+func FuzzDeserializeTable(f *testing.F) {
+	for _, s := range deserializeTableSeeds() {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tab, err := Deserialize(data)
+		if err != nil {
+			return
+		}
+		want, err := entryCount(tab.Spec.BufferBins, tab.Levels, tab.Spec.RateBins)
+		if err != nil || len(tab.Entries) != want {
+			t.Fatalf("accepted table with inconsistent geometry: %d entries, entryCount says (%d, %v)", len(tab.Entries), want, err)
+		}
+		if err := validEntries(tab.Entries, tab.Levels); err != nil {
+			t.Fatalf("accepted table with out-of-range entries: %v", err)
+		}
+		// Round trip: re-serializing always emits v2; decoding that again
+		// must reproduce the same bytes (scalar bits preserved exactly).
+		re := tab.Serialize()
+		tab2, err := Deserialize(re)
+		if err != nil {
+			t.Fatalf("re-deserialize failed: %v", err)
+		}
+		if !bytes.Equal(re, tab2.Serialize()) {
+			t.Fatal("serialize/deserialize round trip not bit-exact")
+		}
+		probeLookups(t, tab.Levels, tab.Lookup)
+	})
+}
+
+// deserializeCompressedSeeds is the committed seed corpus for
+// FuzzDeserializeCompressed.
+func deserializeCompressedSeeds() [][]byte {
+	c := Compress(fuzzTable())
+	valid := c.Serialize()
+	nonzeroStart := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(nonzeroStart[rleHeaderLen:], 7) // first run must start at 0
+	return [][]byte{
+		valid,
+		legacyRLEBlob(c),
+		valid[:len(valid)-3], // torn run entry
+		valid[:rleHeaderLen],
+		{},
+		nonzeroStart,
+	}
+}
+
+// FuzzDeserializeCompressed holds DeserializeCompressed ("MPCR" v2 and
+// legacy v1 run-length tables) to the same contract, and cross-checks the
+// compressed Lookup against the decompressed flat table when the logical
+// length is small enough to expand.
+func FuzzDeserializeCompressed(f *testing.F) {
+	for _, s := range deserializeCompressedSeeds() {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ct, err := DeserializeCompressed(data)
+		if err != nil {
+			return
+		}
+		if ct.Runs() < 1 || ct.Starts[0] != 0 {
+			t.Fatalf("accepted encoding with bad run structure: %d runs, first start %v", ct.Runs(), ct.Starts)
+		}
+		for r := 1; r < len(ct.Starts); r++ {
+			if ct.Starts[r] <= ct.Starts[r-1] {
+				t.Fatalf("accepted non-ascending run starts at %d: %v", r, ct.Starts)
+			}
+		}
+		if int(ct.Starts[len(ct.Starts)-1]) >= ct.Length {
+			t.Fatalf("accepted run starting at %d beyond length %d", ct.Starts[len(ct.Starts)-1], ct.Length)
+		}
+		re := ct.Serialize()
+		ct2, err := DeserializeCompressed(re)
+		if err != nil {
+			t.Fatalf("re-deserialize failed: %v", err)
+		}
+		if !bytes.Equal(re, ct2.Serialize()) {
+			t.Fatal("serialize/deserialize round trip not bit-exact")
+		}
+		probeLookups(t, ct.Levels, ct.Lookup)
+		// Length is header-implied and can be huge with a tiny payload;
+		// only expand (Length bytes) when it is fuzz-affordable.
+		if ct.Length <= 1<<16 {
+			flat := ct.Decompress()
+			for _, buffer := range []float64{0, 5, math.NaN()} {
+				for _, rate := range []float64{0, 55, math.Inf(1)} {
+					if a, b := ct.Lookup(buffer, 1, rate), flat.Lookup(buffer, 1, rate); a != b {
+						t.Fatalf("compressed Lookup(%v, 1, %v) = %d, decompressed = %d", buffer, rate, a, b)
+					}
+				}
+			}
+		}
+	})
+}
+
+// fuzzCacheKey is the content key every FuzzCacheFile seed claims; the
+// decoder must reject any blob claiming a different identity.
+const fuzzCacheKey uint64 = 0xDEADBEEFCAFEF00D
+
+// cacheBlob wraps a serialized table in the 16-byte "MPCF" keyed header,
+// mirroring storeDisk's layout.
+func cacheBlob(key uint64, table []byte) []byte {
+	buf := make([]byte, cacheFileHeader, cacheFileHeader+len(table))
+	binary.LittleEndian.PutUint32(buf[0:], cacheFileMagic)
+	binary.LittleEndian.PutUint32(buf[4:], cacheFileVersion)
+	binary.LittleEndian.PutUint64(buf[8:], key)
+	return append(buf, table...)
+}
+
+// cacheFileSeeds is the committed seed corpus for FuzzCacheFile.
+func cacheFileSeeds() [][]byte {
+	blob := fuzzTable().Serialize()
+	badVersion := cacheBlob(fuzzCacheKey, blob)
+	binary.LittleEndian.PutUint32(badVersion[4:], 2)
+	return [][]byte{
+		cacheBlob(fuzzCacheKey, blob),
+		cacheBlob(fuzzCacheKey+1, blob), // key mismatch
+		cacheBlob(fuzzCacheKey, blob[:len(blob)-1]),
+		cacheBlob(fuzzCacheKey, nil),
+		{},
+		badVersion,
+	}
+}
+
+// FuzzCacheFile holds decodeCacheFile (the pure half of the disk-cache
+// loader) to its contract: anything that decodes carries exactly the
+// requested identity — key, ladder size, and bit-exact BinSpec.
+func FuzzCacheFile(f *testing.F) {
+	for _, s := range cacheFileSeeds() {
+		f.Add(s)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		full, err := decodeCacheFile(data, fuzzCacheKey, fuzzLevels, fuzzSpec)
+		if err != nil {
+			return
+		}
+		if full.Levels != fuzzLevels || !specIdentical(full.Spec, fuzzSpec) {
+			t.Fatalf("accepted cache file with foreign geometry: levels %d, spec %+v", full.Levels, full.Spec)
+		}
+		if len(data) < cacheFileHeader || binary.LittleEndian.Uint64(data[8:]) != fuzzCacheKey {
+			t.Fatal("accepted cache file not claiming the requested key")
+		}
+		probeLookups(t, full.Levels, full.Lookup)
+		if Compress(full).Runs() < 1 {
+			t.Fatal("decoded table compresses to zero runs")
+		}
+	})
+}
+
+// TestFuzzCorpusCommitted keeps the committed seed corpora under
+// testdata/fuzz in sync with the f.Add seeds above: the files are read as
+// seeds by every `go test` run, so drift would silently shrink coverage.
+func TestFuzzCorpusCommitted(t *testing.T) {
+	for _, target := range []struct {
+		name  string
+		seeds [][]byte
+	}{
+		{"FuzzDeserializeTable", deserializeTableSeeds()},
+		{"FuzzDeserializeCompressed", deserializeCompressedSeeds()},
+		{"FuzzCacheFile", cacheFileSeeds()},
+	} {
+		problems, err := fuzzcorpus.Sync(filepath.Join("testdata", "fuzz", target.name), target.seeds)
+		if err != nil {
+			t.Fatalf("%s: %v", target.name, err)
+		}
+		for _, p := range problems {
+			t.Errorf("%s: %s", target.name, p)
+		}
+	}
+}

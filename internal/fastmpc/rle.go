@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 )
 
 // The enumerated table is highly structured — neighbouring states share the
@@ -52,14 +51,30 @@ func (c *CompressedTable) Decompress() *Table {
 func (c *CompressedTable) Runs() int { return len(c.Starts) }
 
 // at returns the value at flat index i via binary search over run starts.
+// The search is hand-rolled rather than sort.Search: the closure argument
+// is a capture the noalloc contract forbids, and the per-decision lookup
+// is the one operation the paper's online phase pays for.
+//
+//mpc:noalloc
 func (c *CompressedTable) at(i int) uint8 {
-	// First run with Starts > i, minus one, is the run containing i.
-	r := sort.Search(len(c.Starts), func(j int) bool { return int(c.Starts[j]) > i })
-	return c.Values[r-1] // Starts[0] == 0, so r ≥ 1 always
+	// Largest r with Starts[r] <= i is the run containing i; Starts[0] == 0
+	// guarantees one exists.
+	lo, hi := 0, len(c.Starts) // invariant: Starts[lo] <= i < Starts[hi]
+	for hi-lo > 1 {
+		mid := int(uint(lo+hi) >> 1)
+		if int(c.Starts[mid]) <= i {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return c.Values[lo]
 }
 
 // Lookup returns the stored optimal level for the given player state,
 // without decompressing.
+//
+//mpc:noalloc
 func (c *CompressedTable) Lookup(buffer float64, prev int, predictedKbps float64) int {
 	if prev < 0 {
 		prev = 0
@@ -164,6 +179,14 @@ func DeserializeCompressed(data []byte) (*CompressedTable, error) {
 	}
 	if int(c.Starts[runs-1]) >= c.Length {
 		return nil, fmt.Errorf("fastmpc: compressed blob last run starts beyond table length")
+	}
+	// The flat decoder rejects entries naming a level the header does not
+	// have (validEntries); the run values need the same check or a corrupt
+	// blob decodes into a table whose Lookup returns out-of-range levels.
+	for r := 0; r < runs; r++ {
+		if int(c.Values[r]) >= c.Levels {
+			return nil, fmt.Errorf("fastmpc: compressed blob run %d is level %d, header has %d levels", r, c.Values[r], c.Levels)
+		}
 	}
 	return c, nil
 }

@@ -53,6 +53,8 @@ func (s BinSpec) Validate() error {
 }
 
 // BufferBin quantizes a buffer level to its bin index (clamped).
+//
+//mpc:noalloc
 func (s BinSpec) BufferBin(buffer float64) int {
 	return clampBin(buffer/s.BufferMax, s.BufferBins)
 }
@@ -63,6 +65,8 @@ func (s BinSpec) BufferValue(bin int) float64 {
 }
 
 // RateBin quantizes a throughput prediction to its bin index (clamped).
+//
+//mpc:noalloc
 func (s BinSpec) RateBin(kbps float64) int {
 	return clampBin((kbps-s.RateMin)/(s.RateMax-s.RateMin), s.RateBins)
 }
@@ -78,6 +82,8 @@ func (s BinSpec) RateValue(bin int) float64 {
 // (including NaN) implementation-defined, which would make the chosen bin
 // platform-dependent. A NaN input (a poisoned trace, a 0/0 throughput
 // sample) deterministically lands in bin 0.
+//
+//mpc:noalloc
 func clampBin(frac float64, bins int) int {
 	v := frac * float64(bins)
 	if !(v > 0) { // NaN, -Inf, negatives and zero
@@ -98,12 +104,16 @@ type Table struct {
 }
 
 // index computes the flat offset of a (bufferBin, prev, rateBin) cell.
+//
+//mpc:noalloc
 func (t *Table) index(bBin, prev, rBin int) int {
 	return (bBin*t.Levels+prev)*t.Spec.RateBins + rBin
 }
 
 // Lookup returns the stored optimal level for the given player state.
 // prev < 0 (no previous chunk) is treated as the lowest level.
+//
+//mpc:noalloc
 func (t *Table) Lookup(buffer float64, prev int, predictedKbps float64) int {
 	if prev < 0 {
 		prev = 0

@@ -1,0 +1,87 @@
+// Package fuzzcorpus keeps committed fuzz seed corpora in sync with the
+// f.Add seeds they mirror. Go's fuzzing reads testdata/fuzz/<Target>/* as
+// seed inputs in every `go test` run, so committing the seeds makes the
+// corpus part of tier-1 — but hand-maintaining the "go test fuzz v1" file
+// encoding invites drift. Each fuzz target declares its seeds once in code;
+// a companion test calls Sync to verify the committed files match, and
+// regenerates them when UPDATE_FUZZ_CORPUS=1 is set.
+package fuzzcorpus
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// UpdateEnv is the environment variable that switches Sync from verifying
+// to rewriting: UPDATE_FUZZ_CORPUS=1 go test ./... -run TestFuzzCorpus
+const UpdateEnv = "UPDATE_FUZZ_CORPUS"
+
+// Encode renders one []byte seed in the corpus file encoding the Go fuzzing
+// engine reads ("go test fuzz v1" followed by one Go literal per argument).
+func Encode(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// seedName names the i-th committed seed file. A numeric suffix keeps the
+// directory listing in seed order.
+func seedName(i int) string { return fmt.Sprintf("seed-%02d", i) }
+
+// Sync reconciles dir (testdata/fuzz/<Target>) against seeds. In update
+// mode it rewrites the directory to exactly the encoded seeds and returns
+// nil. In verify mode it returns one message per missing, stale or orphaned
+// file; an empty slice means the committed corpus matches the code.
+func Sync(dir string, seeds [][]byte) ([]string, error) {
+	if os.Getenv(UpdateEnv) != "" {
+		return nil, rewrite(dir, seeds)
+	}
+	var problems []string
+	want := map[string][]byte{}
+	for i, s := range seeds {
+		want[seedName(i)] = Encode(s)
+	}
+	for name, enc := range want {
+		got, err := os.ReadFile(filepath.Join(dir, name))
+		switch {
+		case err != nil:
+			problems = append(problems, fmt.Sprintf("%s: missing (run with %s=1 to regenerate)", name, UpdateEnv))
+		case string(got) != string(enc):
+			problems = append(problems, fmt.Sprintf("%s: stale encoding (run with %s=1 to regenerate)", name, UpdateEnv))
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	for _, e := range entries {
+		if _, ok := want[e.Name()]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: not declared by any f.Add seed", e.Name()))
+		}
+	}
+	sort.Strings(problems)
+	return problems, nil
+}
+
+// rewrite replaces dir's contents with exactly the encoded seeds.
+func rewrite(dir string, seeds [][]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+			return err
+		}
+	}
+	for i, s := range seeds {
+		if err := os.WriteFile(filepath.Join(dir, seedName(i)), Encode(s), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

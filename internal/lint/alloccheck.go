@@ -1,0 +1,117 @@
+package lint
+
+// The //mpc:noalloc static check (noalloc.go) is intraprocedural and
+// pattern-based: it can prove the absence of allocating *constructs* but
+// not of allocating *behavior* — an escape the compiler decides on
+// (a value leaking through an interface three calls away) is invisible to
+// it. This file is the other half of the contract: it reconciles the
+// annotation inventory against gc's own escape analysis (-gcflags=-m), so
+// `make lint-alloc` fails when the compiler heap-allocates inside any
+// annotated line range, whatever the construct looked like.
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// EscapeSite is one heap-allocation decision reported by the compiler.
+type EscapeSite struct {
+	File    string // absolute path
+	Line    int
+	Col     int
+	Message string // e.g. "&Table{...} escapes to heap"
+}
+
+// ParseEscapes extracts heap-allocation sites from `go build -gcflags=-m`
+// diagnostic output. Relative positions are resolved against baseDir (the
+// directory the build ran in). Only messages that mean "this allocates on
+// the heap" are kept: "escapes to heap" and "moved to heap". Inlining
+// notes, "leaking param" flow facts and "does not escape" proofs are not
+// allocations and are dropped.
+func ParseEscapes(out, baseDir string) []EscapeSite {
+	var sites []EscapeSite
+	for _, line := range strings.Split(out, "\n") {
+		msg := strings.TrimSpace(line)
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		// file.go:line:col: message
+		file, rest, ok := strings.Cut(msg, ":")
+		if !ok {
+			continue
+		}
+		lineStr, rest, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		colStr, text, ok := strings.Cut(rest, ":")
+		if !ok {
+			continue
+		}
+		ln, err1 := strconv.Atoi(lineStr)
+		col, err2 := strconv.Atoi(colStr)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(baseDir, file)
+		}
+		sites = append(sites, EscapeSite{
+			File:    filepath.Clean(file),
+			Line:    ln,
+			Col:     col,
+			Message: strings.TrimSpace(text),
+		})
+	}
+	return sites
+}
+
+// AllocCheck reconciles the annotation inventory with the compiler's
+// escape sites: every site inside an annotated function's line range is a
+// contract violation, reported under check "alloccheck". //lint:allow does
+// not apply here by design — the escape hatch for an intentionally
+// allocating path is moving it out of the annotated function, not
+// suppressing the compiler.
+func AllocCheck(inventory []NoAllocFunc, sites []EscapeSite) []Diagnostic {
+	var diags []Diagnostic
+	for _, site := range sites {
+		for _, fn := range inventory {
+			if site.File == fn.File && site.Line >= fn.StartLine && site.Line <= fn.EndLine {
+				diags = append(diags, Diagnostic{
+					File:    site.File,
+					Line:    site.Line,
+					Col:     site.Col,
+					Check:   "alloccheck",
+					Message: fmt.Sprintf("compiler escape analysis contradicts //mpc:noalloc on %s: %s", fn.Name, site.Message),
+				})
+				break
+			}
+		}
+	}
+	return diags
+}
+
+// BuildEscapes runs `go build -gcflags=-m` on patterns in dir and parses
+// the diagnostics. The -m output lands on stderr; a cached build replays
+// the stored compiler output, so repeat runs stay cheap and non-vacuous.
+// An empty result with a clean exit means the build graph was silent,
+// which for a module with any code at all indicates the flags did not
+// reach the compiler — callers should treat zero parsed lines of any kind
+// as suspect; EscapeSites being empty is the success condition.
+func BuildEscapes(dir string, patterns []string) ([]EscapeSite, string, error) {
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, string(out), fmt.Errorf("go build -gcflags=-m: %v", err)
+	}
+	abs, aerr := filepath.Abs(dir)
+	if aerr != nil {
+		abs = dir
+	}
+	return ParseEscapes(string(out), abs), string(out), nil
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix enforces atomic-access discipline module-wide:
+//
+//  1. A struct field passed to a sync/atomic function anywhere
+//     (atomic.AddInt64(&s.n, 1), atomic.LoadUint64(&s.hits), ...) must be
+//     accessed through sync/atomic everywhere — a plain read races the
+//     atomic writers and a plain write can be lost entirely. This is the
+//     mixed-access bug the race detector only catches when both sides run
+//     in the same test.
+//  2. A struct carrying atomic state — a sync/atomic typed field
+//     (atomic.Int64, atomic.Uint64, atomic.Bool, ...) or a field from
+//     rule 1 — must not be copied by value (dereference copies, value
+//     parameters, range-value copies): the copy forks the counter and
+//     every update to it is silently dropped from the original.
+//
+// Rule 1's inventory is built per package, so the obs counters and fleet
+// inflight gauges are checked wherever their package touches them.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields accessed via sync/atomic must be atomic everywhere and their structs never copied by value",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+	// Pass 1: collect struct fields used as &x.f arguments to sync/atomic
+	// functions, and remember those argument expressions so pass 2 can
+	// tell an atomic access from a plain one.
+	atomicFields := map[*types.Var][]ast.Expr{} // field -> atomic-use positions
+	atomicUses := map[*ast.SelectorExpr]bool{}  // x.f inside atomic.F(&x.f)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isAtomicFuncCall(info, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if field := selectedField(info, sel); field != nil {
+					atomicFields[field] = append(atomicFields[field], arg)
+					atomicUses[sel] = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: plain accesses of those fields, and value copies of structs
+	// carrying atomic state.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if atomicUses[n] {
+					return true
+				}
+				field := selectedField(info, n)
+				if field == nil {
+					return true
+				}
+				if _, tracked := atomicFields[field]; tracked {
+					p.Reportf(n.Pos(), "plain access of %s.%s, which is written with sync/atomic elsewhere; use atomic.Load/Store for every access", fieldOwnerName(field), field.Name())
+				}
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					checkAtomicCopy(p, atomicFields, rhs)
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					checkAtomicCopy(p, atomicFields, res)
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if t := info.TypeOf(n.Value); atomicBearing(t, atomicFields) {
+						p.Reportf(n.Value.Pos(), "range copies %s by value; it carries atomic state — range over indices or pointers instead", typeShort(t))
+					}
+				}
+			case *ast.FuncDecl:
+				checkAtomicParams(p, atomicFields, n.Type)
+			case *ast.FuncLit:
+				checkAtomicParams(p, atomicFields, n.Type)
+			}
+			return true
+		})
+	}
+}
+
+// checkAtomicCopy flags expressions assigned or returned by value that
+// copy an atomic-bearing struct: a dereference (*p) or a plain
+// identifier/selector of struct type. Composite literals and function
+// results are new values, not copies of a shared original, so they pass.
+func checkAtomicCopy(p *Pass, atomicFields map[*types.Var][]ast.Expr, rhs ast.Expr) {
+	info := p.Pkg.Info
+	switch e := rhs.(type) {
+	case *ast.StarExpr:
+		if t := info.TypeOf(e); atomicBearing(t, atomicFields) {
+			p.Reportf(e.Pos(), "dereference copies %s by value; it carries atomic state — keep it behind the pointer", typeShort(t))
+		}
+	case *ast.Ident, *ast.SelectorExpr:
+		if t := info.TypeOf(e); atomicBearing(t, atomicFields) {
+			p.Reportf(e.Pos(), "assignment copies %s by value; it carries atomic state — share it via a pointer", typeShort(t))
+		}
+	}
+}
+
+func checkAtomicParams(p *Pass, atomicFields map[*types.Var][]ast.Expr, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	info := p.Pkg.Info
+	for _, field := range ft.Params.List {
+		if t := info.TypeOf(field.Type); atomicBearing(t, atomicFields) {
+			p.Reportf(field.Type.Pos(), "parameter passes %s by value; it carries atomic state — take a pointer", typeShort(t))
+		}
+	}
+}
+
+// atomicBearing reports whether t is a struct (not pointer-to-struct) with
+// a sync/atomic typed field or a field tracked in atomicFields.
+func atomicBearing(t types.Type, atomicFields map[*types.Var][]ast.Expr) bool {
+	if t == nil {
+		return false
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if isSyncAtomicType(f.Type()) {
+			return true
+		}
+		if _, tracked := atomicFields[f]; tracked {
+			return true
+		}
+	}
+	return false
+}
+
+func isSyncAtomicType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
+}
+
+// selectedField resolves x.f to the struct field it names, or nil.
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	return s.Obj().(*types.Var)
+}
+
+func fieldOwnerName(field *types.Var) string {
+	if field.Pkg() != nil {
+		return field.Pkg().Name()
+	}
+	return "struct"
+}
+
+func typeShort(t types.Type) string {
+	s := t.String()
+	if i := strings.LastIndexByte(s, '/'); i >= 0 {
+		s = s[i+1:]
+	}
+	return s
+}
+
+// isAtomicFuncCall matches atomic.F(...) for the sync/atomic package-level
+// access functions (Load*, Store*, Add*, Swap*, CompareAndSwap*).
+func isAtomicFuncCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	path, ok := importedPackage(info, sel.X)
+	if !ok || path != "sync/atomic" {
+		return false
+	}
+	name := sel.Sel.Name
+	return strings.HasPrefix(name, "Load") || strings.HasPrefix(name, "Store") ||
+		strings.HasPrefix(name, "Add") || strings.HasPrefix(name, "Swap") ||
+		strings.HasPrefix(name, "CompareAndSwap")
+}

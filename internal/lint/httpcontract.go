@@ -1,0 +1,428 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// httpContractScope covers the two packages that serve HTTP: the abrd
+// decision service and the segment-emulation server. The metric-name rule
+// (see below) is module-wide and ignores this scope.
+var httpContractScope = fileScope{
+	"abrsvc": nil,
+	"emu":    nil,
+}
+
+// HTTPContract enforces the handler invariants of the service layer:
+//
+//  1. no WriteHeader after a body write — the first body write commits an
+//     implicit 200, so a later WriteHeader is a silent no-op plus a
+//     "superfluous response.WriteHeader" server log line. Tracked in
+//     statement order; a branch that writes and returns does not poison
+//     the fall-through path.
+//  2. every 429 sets Retry-After — the fleet's shed-retry protocol (and
+//     any well-behaved client) needs the server's backoff hint; a bare
+//     429 turns coordinated backoff into thundering-herd retries.
+//  3. handlers must not manufacture context.Background()/context.TODO() —
+//     deriving work from anything but r.Context() detaches it from the
+//     client disconnect and the server drain path.
+//  4. (module-wide) obs Registry metric names (Counter/Gauge/Histogram
+//     first argument) must be declared string constants with the mpcdash_
+//     prefix — a raw literal at the call site is exactly how the code and
+//     the /metrics exposition drift apart.
+var HTTPContract = &Analyzer{
+	Name: "httpcontract",
+	Doc:  "HTTP handler invariants: header ordering, 429 Retry-After, request-context use, metric-name constants",
+	Run:  runHTTPContract,
+}
+
+func runHTTPContract(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range httpContractScope.files(p.Pkg) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = n.Type, n.Body
+			case *ast.FuncLit:
+				ft, body = n.Type, n.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			hasW, hasR := handlerParams(info, ft)
+			if !hasW {
+				return true
+			}
+			hw := &headerWriteState{pass: p}
+			hw.block(body.List, false)
+			checkRetryAfter(p, body)
+			if hasR {
+				checkHandlerContext(p, body)
+			}
+			return true
+		})
+	}
+	// Rule 4 is module-wide: every non-test file, every package.
+	for _, f := range p.Pkg.Files {
+		checkMetricNames(p, f)
+	}
+}
+
+// handlerParams reports whether ft has an http.ResponseWriter parameter
+// and a *http.Request parameter.
+func handlerParams(info *types.Info, ft *ast.FuncType) (hasW, hasR bool) {
+	if ft.Params == nil {
+		return false, false
+	}
+	for _, field := range ft.Params.List {
+		t := info.TypeOf(field.Type)
+		if isResponseWriter(t) {
+			hasW = true
+		}
+		if isHTTPRequestPtr(t) {
+			hasR = true
+		}
+	}
+	return hasW, hasR
+}
+
+func isResponseWriter(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+func isHTTPRequestPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
+}
+
+// headerWriteState walks a handler body in statement order tracking
+// whether the response body has been written, flagging WriteHeader calls
+// that come after. Branches are explored with the inherited state; a
+// branch whose last statement returns does not leak its writes into the
+// fall-through path.
+type headerWriteState struct {
+	pass *Pass
+}
+
+// block returns whether the straight-line path through stmts has written
+// the body by the end.
+func (h *headerWriteState) block(stmts []ast.Stmt, wrote bool) bool {
+	for _, s := range stmts {
+		wrote = h.stmt(s, wrote)
+	}
+	return wrote
+}
+
+func (h *headerWriteState) stmt(s ast.Stmt, wrote bool) bool {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		if s.Init != nil {
+			wrote = h.stmt(s.Init, wrote)
+		}
+		wrote = h.scan(s.Cond, wrote)
+		bodyWrote := h.block(s.Body.List, wrote)
+		elseWrote := wrote
+		if s.Else != nil {
+			elseWrote = h.stmt(s.Else, wrote)
+		}
+		if !terminates(s.Body.List) && bodyWrote {
+			wrote = true
+		}
+		if s.Else != nil && !elseTerminates(s.Else) && elseWrote {
+			wrote = true
+		}
+		return wrote
+	case *ast.BlockStmt:
+		return h.block(s.List, wrote)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			wrote = h.stmt(s.Init, wrote)
+		}
+		wrote = h.scan(s.Cond, wrote)
+		if h.block(s.Body.List, wrote) {
+			// Re-walk with the body already written so an in-loop
+			// WriteHeader after an earlier-iteration write is caught.
+			h.block(s.Body.List, true)
+			wrote = true
+		}
+		return wrote
+	case *ast.RangeStmt:
+		wrote = h.scan(s.X, wrote)
+		if h.block(s.Body.List, wrote) {
+			h.block(s.Body.List, true)
+			wrote = true
+		}
+		return wrote
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		any := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CaseClause:
+				if h.block(n.Body, wrote) && !terminates(n.Body) {
+					any = true
+				}
+				return false
+			case *ast.CommClause:
+				if h.block(n.Body, wrote) && !terminates(n.Body) {
+					any = true
+				}
+				return false
+			}
+			return true
+		})
+		return wrote || any
+	case *ast.GoStmt, *ast.DeferStmt:
+		return wrote // runs out of line; FuncLit bodies get their own walk
+	default:
+		return h.scan(s, wrote)
+	}
+}
+
+// scan inspects a leaf statement/expression for body writes and
+// WriteHeader calls, in position order.
+func (h *headerWriteState) scan(n ast.Node, wrote bool) bool {
+	if n == nil {
+		return wrote
+	}
+	type evt struct {
+		pos     token.Pos
+		isWrite bool
+	}
+	var evts []evt
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isWriteHeaderCall(h.pass.Pkg.Info, call) {
+			evts = append(evts, evt{call.Pos(), false})
+		} else if isBodyWrite(h.pass.Pkg.Info, call) {
+			evts = append(evts, evt{call.Pos(), true})
+		}
+		return true
+	})
+	for i := 1; i < len(evts); i++ {
+		for j := i; j > 0 && evts[j].pos < evts[j-1].pos; j-- {
+			evts[j], evts[j-1] = evts[j-1], evts[j]
+		}
+	}
+	for _, e := range evts {
+		if e.isWrite {
+			wrote = true
+		} else if wrote {
+			h.pass.Reportf(e.pos, "WriteHeader after the response body was written is a no-op; set the status before the first body write")
+		}
+	}
+	return wrote
+}
+
+func isWriteHeaderCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "WriteHeader" {
+		return false
+	}
+	return isResponseWriter(info.TypeOf(sel.X))
+}
+
+// isBodyWrite matches the ways handlers write response bodies: w.Write,
+// io.WriteString(w, ...), fmt.Fprint*(w, ...), json.NewEncoder(w), and
+// io.Copy(w, ...).
+func isBodyWrite(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if sel.Sel.Name == "Write" && isResponseWriter(info.TypeOf(sel.X)) {
+		return true
+	}
+	path, isPkg := importedPackage(info, sel.X)
+	if !isPkg || len(call.Args) == 0 || !isResponseWriter(info.TypeOf(call.Args[0])) {
+		return false
+	}
+	switch {
+	case path == "io" && (sel.Sel.Name == "WriteString" || sel.Sel.Name == "Copy" || sel.Sel.Name == "CopyN"):
+		return true
+	case path == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint"):
+		return true
+	case path == "encoding/json" && sel.Sel.Name == "NewEncoder":
+		return true
+	}
+	return false
+}
+
+// terminates reports whether a statement list ends in return or panic, so
+// its in-branch state cannot reach the code after the branch.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return last.Tok == token.BREAK || last.Tok == token.CONTINUE || last.Tok == token.GOTO
+	case *ast.ExprStmt:
+		if call, ok := last.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func elseTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return terminates(s.List)
+	case *ast.IfStmt:
+		return terminates(s.Body.List) && s.Else != nil && elseTerminates(s.Else)
+	}
+	return false
+}
+
+// checkRetryAfter enforces invariant 2: a function that emits 429 must
+// also set the Retry-After header.
+func checkRetryAfter(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	var firstTooMany token.Pos
+	hasRetryAfter := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if path, ok := importedPackage(info, n.X); ok && path == "net/http" && n.Sel.Name == "StatusTooManyRequests" {
+				if firstTooMany == token.NoPos {
+					firstTooMany = n.Pos()
+				}
+			}
+		case *ast.BasicLit:
+			if n.Kind == token.INT && n.Value == "429" && firstTooMany == token.NoPos {
+				firstTooMany = n.Pos()
+			}
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && (sel.Sel.Name == "Set" || sel.Sel.Name == "Add") && len(n.Args) >= 1 {
+				if lit, val := stringConstant(info, n.Args[0]); lit && val == "Retry-After" {
+					hasRetryAfter = true
+				}
+			}
+		}
+		return true
+	})
+	if firstTooMany != token.NoPos && !hasRetryAfter {
+		p.Reportf(firstTooMany, "429 response without a Retry-After header; shedding without a backoff hint causes thundering-herd retries")
+	}
+}
+
+// stringConstant resolves e to a compile-time string value.
+func stringConstant(info *types.Info, e ast.Expr) (bool, string) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false, ""
+	}
+	return true, constant.StringVal(tv.Value)
+}
+
+// checkHandlerContext enforces invariant 3: handler bodies derive from
+// r.Context(), never context.Background()/TODO().
+func checkHandlerContext(p *Pass, body *ast.BlockStmt) {
+	info := p.Pkg.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if path, isPkg := importedPackage(info, sel.X); isPkg && path == "context" {
+			if sel.Sel.Name == "Background" || sel.Sel.Name == "TODO" {
+				p.Reportf(call.Pos(), "handler uses context.%s(); derive from r.Context() so client disconnects and server drain cancel the work", sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkMetricNames enforces invariant 4 module-wide: the name argument of
+// obs Registry Counter/Gauge/Histogram calls must be a declared constant
+// with the exporter's mpcdash_ prefix.
+func checkMetricNames(p *Pass, f *ast.File) {
+	info := p.Pkg.Info
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Counter", "Gauge", "Histogram":
+		default:
+			return true
+		}
+		if !isObsRegistry(info.TypeOf(sel.X)) || len(call.Args) == 0 {
+			return true
+		}
+		name := call.Args[0]
+		if lit, ok := name.(*ast.BasicLit); ok && lit.Kind == token.STRING {
+			p.Reportf(name.Pos(), "metric name is a raw string literal; declare it as a package constant so code and /metrics exposition cannot drift")
+			return true
+		}
+		isConst, val := stringConstant(info, name)
+		switch {
+		case !isConst:
+			p.Reportf(name.Pos(), "metric name does not resolve to a declared string constant")
+		case !strings.HasPrefix(val, "mpcdash_"):
+			p.Reportf(name.Pos(), "metric name %s lacks the mpcdash_ exposition prefix", strconv.Quote(val))
+		}
+		return true
+	})
+}
+
+// isObsRegistry matches *Registry / Registry declared in an obs package
+// (the real mpcdash/internal/obs or a fixture's obs).
+func isObsRegistry(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Name() != "Registry" {
+		return false
+	}
+	path := obj.Pkg().Path()
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}

@@ -5,7 +5,11 @@
 // exact float equality (floateq), byte-identical report/export emitters
 // never iterate maps in hash order (maporder), the dependency policy stays
 // stdlib-only (stdlibonly), and orchestration goroutines keep a
-// cancellation path (ctxleak).
+// cancellation path (ctxleak). The second-generation concurrency pass
+// adds: mutex critical sections never block or leak (lockscope),
+// //mpc:noalloc hot paths never allocate (noalloc), atomics are atomic
+// everywhere and never copied (atomicmix), and HTTP handlers honor the
+// service-layer response/context/metric-name contracts (httpcontract).
 //
 // Findings are suppressed with a directive comment carrying a reason:
 //
@@ -67,7 +71,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 
 // Analyzers returns the full suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{NoDeterminism, FloatEq, MapOrder, StdlibOnly, CtxLeak}
+	return []*Analyzer{NoDeterminism, FloatEq, MapOrder, StdlibOnly, CtxLeak, LockScope, NoAlloc, AtomicMix, HTTPContract}
 }
 
 // AnalyzersByName resolves a comma-separated list of check names.
@@ -82,11 +86,17 @@ func AnalyzersByName(names string) ([]*Analyzer, error) {
 	var out []*Analyzer
 	for _, n := range strings.Split(names, ",") {
 		n = strings.TrimSpace(n)
+		if n == "" {
+			continue
+		}
 		a, ok := byName[n]
 		if !ok {
 			return nil, fmt.Errorf("unknown check %q", n)
 		}
 		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no checks selected by %q", names)
 	}
 	return out, nil
 }

@@ -1,0 +1,373 @@
+package lint
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// lockScopeScope covers the concurrent service/fleet layers: the abrd
+// decision service, the fleet scheduler, the metrics registry/sinks, and
+// the emulation transport. These are the packages whose mutexes sit on
+// request hot paths, where a blocking call inside a critical section
+// serializes every other request behind one slow operation.
+var lockScopeScope = fileScope{
+	"abrsvc": nil,
+	"fleet":  nil,
+	"obs":    nil,
+	"emu":    nil,
+}
+
+// LockScope flags two critical-section hazards in the service/fleet
+// packages:
+//
+//  1. a blocking operation — channel send/receive, a select without a
+//     default, time.Sleep/After, sync.WaitGroup.Wait, net/http round
+//     trips, file or writer I/O — executed while a sync.Mutex/RWMutex is
+//     held. Under load every other goroutine needing that lock stalls
+//     behind the slow operation; the decide-path latency budget (p99 in
+//     microseconds) does not survive a disk write under the store lock.
+//  2. a return statement on a path where a lock is still held and no
+//     deferred unlock covers the exit — the classic missed-unlock leak
+//     that deadlocks the next request for the same stripe.
+//
+// The analysis is intraprocedural and statement-ordered: it tracks
+// Lock/Unlock pairs per receiver expression through the enclosing
+// function, branching conservatively (a branch that unlocks and returns
+// does not release the fall-through path's lock). Calls to module
+// functions are not followed; a critical section that delegates its
+// blocking work one call deeper needs a //lint:allow with the reason.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "flag blocking operations and missing unlocks inside mutex critical sections",
+	Run:  runLockScope,
+}
+
+func runLockScope(p *Pass) {
+	for _, f := range lockScopeScope.files(p.Pkg) {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				body = n.Body
+			case *ast.FuncLit:
+				body = n.Body
+			default:
+				return true
+			}
+			if body != nil {
+				ls := &lockState{pass: p, held: map[string]token.Pos{}, deferred: map[string]bool{}}
+				ls.block(body.List)
+			}
+			return true
+		})
+	}
+}
+
+// lockState tracks which mutex receivers are locked at the current
+// program point of one function body.
+type lockState struct {
+	pass     *Pass
+	held     map[string]token.Pos // receiver rendering → Lock() position
+	deferred map[string]bool      // receiver rendering → defer Unlock seen
+}
+
+func (ls *lockState) clone() *lockState {
+	c := &lockState{pass: ls.pass, held: map[string]token.Pos{}, deferred: map[string]bool{}}
+	for k, v := range ls.held {
+		c.held[k] = v
+	}
+	for k, v := range ls.deferred {
+		c.deferred[k] = v
+	}
+	return c
+}
+
+// block walks one statement list in order, updating lock state and
+// reporting hazards.
+func (ls *lockState) block(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		ls.stmt(s)
+	}
+}
+
+func (ls *lockState) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if recv, op, ok := ls.mutexCall(s.X); ok {
+			switch op {
+			case "Lock", "RLock":
+				ls.held[recv] = s.Pos()
+			case "Unlock", "RUnlock":
+				delete(ls.held, recv)
+			}
+			return
+		}
+		ls.checkBlocking(s)
+	case *ast.DeferStmt:
+		if recv, op, ok := ls.mutexCall(s.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			ls.deferred[recv] = true
+			return
+		}
+		// Deferred calls run at exit, outside the statement order; their
+		// bodies are not part of the current critical section.
+	case *ast.ReturnStmt:
+		ls.checkBlocking(s)
+		for recv, pos := range ls.held {
+			if !ls.deferred[recv] {
+				position := ls.pass.Pkg.Fset.Position(pos)
+				ls.pass.Reportf(s.Pos(), "return with %s.Lock() (line %d) still held and no deferred unlock; this exit path leaks the lock", recv, position.Line)
+			}
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		ls.checkBlockingExpr(s.Cond)
+		ls.clone().block(s.Body.List)
+		if s.Else != nil {
+			ls.clone().stmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		ls.block(s.List)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		ls.checkBlockingExpr(s.Cond)
+		ls.clone().block(s.Body.List)
+	case *ast.RangeStmt:
+		ls.checkBlockingExpr(s.X)
+		ls.clone().block(s.Body.List)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			ls.stmt(s.Init)
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.clone().block(cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				ls.clone().block(cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		if len(ls.held) > 0 && !selectHasDefault(s) {
+			ls.reportBlocking(s.Pos(), "select without a default blocks")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				ls.clone().block(cc.Body)
+			}
+		}
+	case *ast.GoStmt:
+		// The spawned goroutine runs concurrently; launching it does not
+		// block the lock holder. Its body gets its own analysis via the
+		// FuncLit walk in runLockScope.
+	case *ast.LabeledStmt:
+		ls.stmt(s.Stmt)
+	default:
+		ls.checkBlocking(s)
+	}
+}
+
+// mutexCall matches recv.Lock/RLock/Unlock/RUnlock() where recv is a
+// sync.Mutex or sync.RWMutex (possibly through a pointer), returning the
+// rendered receiver expression and the method name.
+func (ls *lockState) mutexCall(e ast.Expr) (recv, op string, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall {
+		return "", "", false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "RLock" && name != "Unlock" && name != "RUnlock" {
+		return "", "", false
+	}
+	if !isMutexType(ls.pass.Pkg.Info.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	return renderExpr(ls.pass.Pkg.Fset, sel.X), name, true
+}
+
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// renderExpr prints an expression compactly for diagnostics ("s.mu",
+// "st.shards[i].mu").
+func renderExpr(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "mutex"
+	}
+	return b.String()
+}
+
+// checkBlocking reports blocking operations inside n while a lock is held.
+func (ls *lockState) checkBlocking(n ast.Node) {
+	if len(ls.held) == 0 || n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // runs later (callback/goroutine); analyzed on its own
+		case *ast.SendStmt:
+			ls.reportBlocking(n.Pos(), "channel send blocks")
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				ls.reportBlocking(n.Pos(), "channel receive blocks")
+			}
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				ls.reportBlocking(n.Pos(), "select without a default blocks")
+			}
+		case *ast.CallExpr:
+			if why, bad := ls.blockingCall(n); bad {
+				ls.reportBlocking(n.Pos(), why)
+			}
+		}
+		return true
+	})
+}
+
+func (ls *lockState) checkBlockingExpr(e ast.Expr) {
+	if e != nil {
+		ls.checkBlocking(e)
+	}
+}
+
+func (ls *lockState) reportBlocking(pos token.Pos, why string) {
+	locks := make([]string, 0, len(ls.held))
+	for recv := range ls.held {
+		locks = append(locks, recv)
+	}
+	// Deterministic lock listing regardless of map order.
+	for i := 1; i < len(locks); i++ {
+		for j := i; j > 0 && locks[j] < locks[j-1]; j-- {
+			locks[j], locks[j-1] = locks[j-1], locks[j]
+		}
+	}
+	ls.pass.Reportf(pos, "%s while %s is held; release the lock before blocking or move the work out of the critical section", why, strings.Join(locks, ", "))
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, c := range s.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingPkgFuncs are package-level functions that block on time, I/O or
+// the network.
+var blockingPkgFuncs = map[string]map[string]bool{
+	"time": {"Sleep": true, "After": true, "Tick": true},
+	"io":   {"Copy": true, "CopyN": true, "CopyBuffer": true, "ReadAll": true, "ReadFull": true, "WriteString": true},
+	"os": {
+		"Open": true, "OpenFile": true, "Create": true, "CreateTemp": true,
+		"ReadFile": true, "WriteFile": true, "ReadDir": true,
+		"Remove": true, "RemoveAll": true, "Rename": true,
+		"Mkdir": true, "MkdirAll": true, "MkdirTemp": true, "Stat": true,
+	},
+	"net/http": {"Get": true, "Post": true, "PostForm": true, "Head": true},
+	"net":      {"Dial": true, "DialTimeout": true, "Listen": true, "ListenPacket": true},
+}
+
+// blockingMethods maps receiver types to method names that block: HTTP
+// round trips, server lifecycle waits, WaitGroup/Cond waits, and file I/O.
+var blockingMethods = []struct {
+	pkg, typ string // receiver's declaring package and type name
+	names    map[string]bool
+}{
+	{"net/http", "Client", map[string]bool{"Do": true, "Get": true, "Post": true, "PostForm": true, "Head": true}},
+	{"net/http", "Server", map[string]bool{"Serve": true, "ListenAndServe": true, "Shutdown": true, "Close": true}},
+	{"sync", "WaitGroup", map[string]bool{"Wait": true}},
+	{"sync", "Cond", map[string]bool{"Wait": true}},
+	{"os", "File", map[string]bool{"Read": true, "ReadAt": true, "Write": true, "WriteAt": true, "WriteString": true, "Sync": true, "Close": true}},
+}
+
+// blockingIfaceMethods are interface methods that mean I/O when the
+// static receiver type is one of the I/O interfaces (or net.Conn /
+// net.Listener / http.ResponseWriter).
+var blockingIfaceMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteHeader": true,
+	"Read": true, "Accept": true, "Flush": true,
+}
+
+func (ls *lockState) blockingCall(call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	info := ls.pass.Pkg.Info
+	name := sel.Sel.Name
+	if pkgPath, isPkg := importedPackage(info, sel.X); isPkg {
+		if fns := blockingPkgFuncs[pkgPath]; fns[name] {
+			return pkgPath + "." + name + " blocks", true
+		}
+		return "", false
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return "", false
+	}
+	if p, okp := t.Underlying().(*types.Pointer); okp {
+		t = p.Elem()
+	}
+	if n, okn := t.(*types.Named); okn {
+		obj := n.Obj()
+		if obj.Pkg() != nil {
+			for _, bm := range blockingMethods {
+				if bm.names != nil && obj.Pkg().Path() == bm.pkg && obj.Name() == bm.typ && bm.names[name] {
+					return "(" + bm.pkg + "." + bm.typ + ")." + name + " blocks", true
+				}
+			}
+			if blockingIfaceMethods[name] && isIOType(obj.Pkg().Path(), obj.Name()) {
+				return "(" + obj.Pkg().Path() + "." + obj.Name() + ")." + name + " is I/O", true
+			}
+		}
+	}
+	return "", false
+}
+
+// isIOType recognizes the stdlib I/O carrier types whose Read/Write/etc.
+// methods reach the kernel (directly or at flush time).
+func isIOType(pkgPath, typeName string) bool {
+	switch pkgPath {
+	case "net":
+		return typeName == "Conn" || typeName == "TCPConn" || typeName == "UDPConn" || typeName == "UnixConn" || typeName == "Listener" || typeName == "TCPListener"
+	case "net/http":
+		return typeName == "ResponseWriter"
+	case "bufio":
+		return typeName == "Writer" || typeName == "Reader" || typeName == "ReadWriter"
+	case "io":
+		return typeName == "Writer" || typeName == "Reader" || typeName == "ReadWriter" || typeName == "ReadWriteCloser" || typeName == "WriteCloser" || typeName == "ReadCloser"
+	}
+	return false
+}

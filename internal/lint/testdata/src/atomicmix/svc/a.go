@@ -1,0 +1,95 @@
+package svc
+
+import (
+	"sync/atomic"
+)
+
+// counters mixes a plain int64 driven through sync/atomic functions with
+// normal fields.
+type counters struct {
+	hits  int64
+	label string
+}
+
+// typed carries a sync/atomic typed field.
+type typed struct {
+	n    atomic.Int64
+	name string
+}
+
+// plain has no atomic state at all.
+type plain struct {
+	n    int64
+	name string
+}
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func load(c *counters) int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// --- positives: mixed access ---
+
+func badRead(c *counters) int64 {
+	return c.hits // want "plain access of svc.hits, which is written with sync/atomic elsewhere"
+}
+
+func badWrite(c *counters) {
+	c.hits = 0 // want "plain access of svc.hits, which is written with sync/atomic elsewhere"
+}
+
+// --- positives: value copies of atomic-bearing structs ---
+
+func badDerefCopy(p *typed) {
+	cp := *p // want "dereference copies svc.typed by value; it carries atomic state"
+	cp.name = "copy"
+}
+
+func badAssignCopy(t typed) { // want "parameter passes svc.typed by value; it carries atomic state"
+	u := t // want "assignment copies svc.typed by value; it carries atomic state"
+	u.name = "copy"
+}
+
+func badReturnCopy(p *counters) counters {
+	return *p // want "dereference copies svc.counters by value; it carries atomic state"
+}
+
+func badRangeCopy(ts []typed) int64 {
+	var sum int64
+	for _, t := range ts { // want "range copies svc.typed by value; it carries atomic state"
+		sum += t.n.Load()
+	}
+	return sum
+}
+
+// --- negatives ---
+
+func goodTyped(t *typed) int64 {
+	t.n.Add(1)
+	return t.n.Load()
+}
+
+func goodPlainCopy(p *plain) plain {
+	return *p
+}
+
+func goodPointerRange(ts []*typed) int64 {
+	var sum int64
+	for _, t := range ts {
+		sum += t.n.Load()
+	}
+	return sum
+}
+
+func goodLabel(c *counters) string {
+	return c.label
+}
+
+// --- suppression ---
+
+func allowedRead(c *counters) int64 {
+	return c.hits //lint:allow atomicmix fixture: read under external lock
+}

@@ -1,0 +1,81 @@
+package abrsvc
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+)
+
+func longOp(ctx context.Context) {}
+
+// --- invariant 1: WriteHeader ordering ---
+
+func badOrder(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "body")
+	w.WriteHeader(http.StatusOK) // want "WriteHeader after the response body was written is a no-op"
+}
+
+func badOrderEncoder(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte(`{}`))
+	w.WriteHeader(http.StatusAccepted) // want "WriteHeader after the response body was written is a no-op"
+}
+
+func goodOrder(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusCreated)
+	fmt.Fprintln(w, "body")
+}
+
+// goodBranch writes in a terminating branch; the fall-through WriteHeader
+// is on a disjoint path and must not be flagged.
+func goodBranch(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/ok" {
+		w.Write([]byte("ok"))
+		return
+	}
+	w.WriteHeader(http.StatusNotFound)
+}
+
+// badBranch writes in a branch that falls through, so the WriteHeader
+// after the branch is reachable with the body already committed.
+func badBranch(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/ok" {
+		w.Write([]byte("ok"))
+	}
+	w.WriteHeader(http.StatusNotFound) // want "WriteHeader after the response body was written is a no-op"
+}
+
+// --- invariant 2: 429 implies Retry-After ---
+
+func bad429(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "shed", http.StatusTooManyRequests) // want "429 response without a Retry-After header"
+}
+
+func good429(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Retry-After", "1")
+	http.Error(w, "shed", http.StatusTooManyRequests)
+}
+
+// --- invariant 3: handlers derive from r.Context() ---
+
+func badCtx(w http.ResponseWriter, r *http.Request) {
+	longOp(context.Background()) // want `handler uses context.Background\(\); derive from r.Context`
+	w.WriteHeader(http.StatusOK)
+}
+
+func goodCtx(w http.ResponseWriter, r *http.Request) {
+	longOp(r.Context())
+	w.WriteHeader(http.StatusOK)
+}
+
+// helpers with only a ResponseWriter still obey the ordering contract.
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+// --- suppression ---
+
+func allowedOrder(w http.ResponseWriter, r *http.Request) {
+	w.Write([]byte("ok"))
+	w.WriteHeader(http.StatusOK) //lint:allow httpcontract fixture: interim shim during handler split
+}

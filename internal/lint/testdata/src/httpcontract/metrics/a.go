@@ -1,0 +1,22 @@
+package metrics
+
+import "mpcdash/obs"
+
+const (
+	// MetricRequests follows the contract: a declared constant with the
+	// exposition prefix.
+	MetricRequests = "mpcdash_fixture_requests_total"
+	// unprefixed is a constant but drifts from the exposition namespace.
+	unprefixed = "fixture_bytes_total"
+)
+
+func register(r *obs.Registry, dynamic string) {
+	r.Counter("mpcdash_raw_total", "help") // want "metric name is a raw string literal"
+	r.Counter(MetricRequests, "help")
+	r.Gauge(unprefixed, "help")       // want `metric name "fixture_bytes_total" lacks the mpcdash_ exposition prefix`
+	r.Histogram(dynamic, "help", nil) // want "metric name does not resolve to a declared string constant"
+}
+
+func registerAllowed(r *obs.Registry) {
+	r.Counter("mpcdash_legacy_total", "help") //lint:allow httpcontract fixture: legacy dashboard pin
+}

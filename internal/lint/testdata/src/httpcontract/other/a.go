@@ -1,0 +1,14 @@
+package other
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Out-of-scope package: handler-invariant violations here must not be
+// reported (the metric-name rule is module-wide, but no metrics live here).
+
+func notAudited(w http.ResponseWriter, r *http.Request) {
+	fmt.Fprintln(w, "body")
+	w.WriteHeader(http.StatusOK)
+}

@@ -1,0 +1,126 @@
+package abrsvc
+
+import (
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+type store struct {
+	mu       sync.Mutex
+	rw       sync.RWMutex
+	sessions map[string]int
+}
+
+func work() {}
+
+// --- positives: blocking while locked ---
+
+func badSend(s *store, ch chan int) {
+	s.mu.Lock()
+	ch <- 1 // want "channel send blocks while s.mu is held"
+	s.mu.Unlock()
+}
+
+func badRecv(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v := <-ch // want "channel receive blocks while s.mu is held"
+	_ = v
+}
+
+func badSleep(s *store) {
+	s.mu.Lock()
+	time.Sleep(time.Second) // want "time.Sleep blocks while s.mu is held"
+	s.mu.Unlock()
+}
+
+func badHTTP(s *store, c *http.Client, req *http.Request) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	resp, err := c.Do(req) // want `\(net/http.Client\).Do blocks while s.rw is held`
+	_, _ = resp, err
+}
+
+func badFile(s *store, path string, data []byte) {
+	s.mu.Lock()
+	os.WriteFile(path, data, 0o644) // want "os.WriteFile blocks while s.mu is held"
+	s.mu.Unlock()
+}
+
+func badSelect(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select without a default blocks while s.mu is held"
+	case <-ch:
+	}
+}
+
+func badWait(s *store, wg *sync.WaitGroup) {
+	s.mu.Lock()
+	wg.Wait() // want `\(sync.WaitGroup\).Wait blocks while s.mu is held`
+	s.mu.Unlock()
+}
+
+// --- positives: exit path without unlock ---
+
+func badReturn(s *store, key string) int {
+	s.mu.Lock()
+	if v, ok := s.sessions[key]; ok {
+		return v // want `return with s.mu.Lock\(\) \(line \d+\) still held and no deferred unlock`
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// --- negatives ---
+
+func goodDefer(s *store, key string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[key]
+}
+
+func goodUnlockBeforeBlocking(s *store, ch chan int) {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	ch <- n
+}
+
+func goodEarlyUnlockBranch(s *store, key string) int {
+	s.mu.Lock()
+	if v, ok := s.sessions[key]; ok {
+		s.mu.Unlock()
+		return v
+	}
+	s.sessions[key] = 1
+	s.mu.Unlock()
+	return 1
+}
+
+func goodSelectDefault(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case ch <- 1:
+	default:
+	}
+}
+
+func goodGoroutineLaunch(s *store, ch chan int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		ch <- 1 // runs concurrently; does not block the lock holder
+	}()
+}
+
+// --- suppression ---
+
+func allowedSleep(s *store) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) //lint:allow lockscope fixture: deliberate jitter under lock
+}

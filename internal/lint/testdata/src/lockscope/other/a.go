@@ -1,0 +1,16 @@
+package other
+
+import (
+	"sync"
+	"time"
+)
+
+// Out-of-scope package: identical hazards, zero findings expected.
+
+type box struct{ mu sync.Mutex }
+
+func notAudited(b *box) {
+	b.mu.Lock()
+	time.Sleep(time.Second)
+	b.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package hot
+
+import "fmt"
+
+type table struct {
+	vals []float64
+	n    int
+}
+
+func sink(v any) {}
+
+// --- positives: each construct the contract forbids ---
+
+// lookupMake does a hot-path lookup.
+//
+//mpc:noalloc
+func lookupMake(t *table) []float64 {
+	buf := make([]float64, t.n) // want "make in //mpc:noalloc function lookupMake allocates"
+	return buf
+}
+
+//mpc:noalloc
+func lookupNew(t *table) *table {
+	return new(table) // want "new in //mpc:noalloc function lookupNew allocates"
+}
+
+//mpc:noalloc
+func lookupAppend(t *table, v float64) {
+	t.vals = append(t.vals, v) // want "append in //mpc:noalloc function lookupAppend allocates"
+}
+
+//mpc:noalloc
+func lookupSliceLit() []int {
+	return []int{1, 2, 3} // want "slice literal in //mpc:noalloc function lookupSliceLit allocates its backing array"
+}
+
+//mpc:noalloc
+func lookupMapLit() map[string]int {
+	return map[string]int{"a": 1} // want "map literal in //mpc:noalloc function lookupMapLit allocates"
+}
+
+//mpc:noalloc
+func lookupAddrLit() *table {
+	return &table{n: 1} // want "&composite literal in //mpc:noalloc function lookupAddrLit is an escape candidate"
+}
+
+//mpc:noalloc
+func lookupClosure(t *table) float64 {
+	f := func() float64 { return t.vals[0] } // want "closure literal in //mpc:noalloc function lookupClosure"
+	return f()
+}
+
+//mpc:noalloc
+func lookupConcat(a, b string) string {
+	return a + b // want "string concatenation in //mpc:noalloc function lookupConcat allocates"
+}
+
+//mpc:noalloc
+func lookupConvert(s string) []byte {
+	return []byte(s) // want `string/\[\]byte conversion in //mpc:noalloc function lookupConvert copies and allocates`
+}
+
+//mpc:noalloc
+func lookupFmt(v float64) string {
+	return fmt.Sprintf("%v", v) // want `fmt.Sprintf in //mpc:noalloc function lookupFmt allocates`
+}
+
+//mpc:noalloc
+func lookupBox(v float64) {
+	sink(v) // want "non-pointer value boxed into interface in //mpc:noalloc function lookupBox"
+}
+
+// --- negatives ---
+
+// coldPath is un-annotated: growth and formatting are fine here.
+func coldPath(t *table) string {
+	t.vals = append(t.vals, 0)
+	return fmt.Sprintf("%d", t.n)
+}
+
+// lookupClean is the shape the contract wants: indexing, arithmetic,
+// pointer passing.
+//
+//mpc:noalloc
+func lookupClean(t *table, i int) float64 {
+	if i < 0 || i >= len(t.vals) {
+		return 0
+	}
+	sink(t) // pointer into interface: stored directly, no box
+	return t.vals[i] * float64(t.n)
+}
+
+// --- suppression ---
+
+//mpc:noalloc
+func lookupAllowed(t *table) []float64 {
+	return make([]float64, 1) //lint:allow noalloc fixture: one-time init escape hatch
+}

@@ -223,13 +223,20 @@ func (c *ChromeTrace) Decision(ev DecisionEvent) {
 }
 
 // Close renders and writes the buffered events. Subsequent events are
-// dropped; Close is idempotent (the second call writes nothing).
+// dropped; Close is idempotent (the second call writes nothing). The
+// buffer is detached under the lock but rendered and written outside it —
+// serializing the trace can mean megabytes of file I/O, and concurrent
+// Decision callers must not stall behind it (they observe closed and drop,
+// the lockscope discipline for every sink in this package).
 func (c *ChromeTrace) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
-	return WriteChromeTrace(c.w, c.events)
+	events := c.events
+	c.events = nil
+	c.mu.Unlock()
+	return WriteChromeTrace(c.w, events)
 }

@@ -20,6 +20,13 @@ import (
 	"mpcdash/internal/trace"
 )
 
+// Runner metric names on the shared registry.
+const (
+	MetricSessionsTotal = "mpcdash_runner_sessions_total"
+	MetricWorkersBusy   = "mpcdash_runner_workers_busy"
+	MetricSessionKbps   = "mpcdash_runner_session_kbps"
+)
+
 // PredictorFactory builds a fresh per-session predictor; oracle predictors
 // need the session's trace.
 type PredictorFactory func(tr *trace.Trace) predictor.Predictor
@@ -196,9 +203,9 @@ func (r *Runner) RunDatasetFunc(ctx context.Context, alg Algorithm, traces []*tr
 	// so a disabled registry costs nothing in the worker loop.
 	var (
 		reg      = r.Obs.Registry()
-		done     = reg.Counter("mpcdash_runner_sessions_total", "Completed sessions.", "algorithm", alg.Name)
-		busy     = reg.Gauge("mpcdash_runner_workers_busy", "Workers currently simulating a session.")
-		sessThpt = reg.Histogram("mpcdash_runner_session_kbps", "Per-session mean download throughput in kbps.", obs.DefKbpsBuckets)
+		done     = reg.Counter(MetricSessionsTotal, "Completed sessions.", "algorithm", alg.Name)
+		busy     = reg.Gauge(MetricWorkersBusy, "Workers currently simulating a session.")
+		sessThpt = reg.Histogram(MetricSessionKbps, "Per-session mean download throughput in kbps.", obs.DefKbpsBuckets)
 	)
 	var (
 		wg       sync.WaitGroup
